@@ -1,0 +1,81 @@
+"""Ablation benches: one per design choice DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_pe_array(benchmark, record_experiment):
+    result = benchmark(ablations.pe_array_ablation)
+    record_experiment(result)
+    last = result.rows[-1]
+    benchmark.extra_info["speedup_at_512_tokens"] = round(last["speedup"], 1)
+    assert last["speedup"] > 5.0
+
+
+def test_ablation_tile_dim(benchmark, record_experiment):
+    result = benchmark(ablations.tile_dim_ablation)
+    record_experiment(result)
+    times = {r["tile_dim"]: r["matmul_compute_ms"] for r in result.rows}
+    benchmark.extra_info["l64_over_l128"] = round(times[64] / times[128], 2)
+    assert times[128] < times[64]
+
+
+def test_ablation_redumax(benchmark, record_experiment):
+    result = benchmark(ablations.redumax_ablation)
+    record_experiment(result)
+    big = result.rows[-1]
+    benchmark.extra_info["cycles_saved_pct"] = round(
+        big["cycles_saved_pct"], 1)
+    assert big["cycles_saved_pct"] > 20
+
+
+def test_ablation_batching(benchmark, record_experiment):
+    result = benchmark(ablations.batching_ablation)
+    record_experiment(result)
+    b64 = [r for r in result.rows if r["batch"] == 64][0]
+    benchmark.extra_info["pnm_tokens_per_s@64"] = round(
+        b64["pnm_tokens_per_s"], 1)
+    assert b64["pnm_tokens_per_s"] > 100
+
+
+def test_ablation_quantization(benchmark, record_experiment):
+    result = benchmark(ablations.quantization_ablation)
+    record_experiment(result)
+    speedup = [r for r in result.rows
+               if r["dtype"] == "INT8 speedup"][0]["tokens_per_s"]
+    benchmark.extra_info["int8_speedup"] = round(speedup, 2)
+    assert 1.6 < speedup < 2.4
+
+
+def test_ablation_moe(benchmark, record_experiment):
+    result = benchmark(ablations.moe_ablation)
+    record_experiment(result)
+    biggest = result.rows[-1]
+    benchmark.extra_info["capacity_amplification"] = round(
+        biggest["capacity_amplification"], 1)
+    assert biggest["fits_one_cxl_pnm"]
+
+
+def test_ablation_dma_buffer(benchmark, record_experiment):
+    result = benchmark(ablations.dma_buffer_ablation)
+    record_experiment(result)
+    one_mb = [r for r in result.rows if r["buffer_KiB"] == 1024][0]
+    benchmark.extra_info["efficiency@1MiB"] = round(one_mb["efficiency"], 3)
+    assert one_mb["efficiency"] > 0.9
+
+
+def test_ablation_parallelism_strategy(benchmark, record_experiment):
+    result = benchmark(ablations.parallelism_strategy_ablation)
+    record_experiment(result)
+    rows = {r["strategy"]: r for r in result.rows}
+    benchmark.extra_info["tp8_latency_ms"] = round(
+        rows["tensor parallel (TP=8)"]["token_latency_ms"], 1)
+    assert rows["tensor parallel (TP=8)"]["token_latency_ms"] \
+        < rows["pipeline parallel (PP=8)"]["token_latency_ms"]
+
+
+def test_ablation_cxl_expansion(benchmark, record_experiment):
+    result = benchmark(ablations.cxl_expansion_ablation)
+    record_experiment(result)
+    times = [r["gen_token_ms"] for r in result.rows]
+    benchmark.extra_info["pnm_over_expander"] = round(times[1] / times[2], 1)
+    assert times[2] < times[1] < times[0]

@@ -1,0 +1,32 @@
+"""Microbenchmarks of the core engines themselves.
+
+These time the reproduction's own machinery (not the modelled hardware):
+the functional executor generating tokens, the compiler emitting
+acceleration code for a big model, and the timing simulator scheduling a
+full OPT-13B gen stage.  Useful to keep the library usable as it grows.
+"""
+
+from repro.accelerator import CXLPNMDevice, timing_program
+from repro.accelerator.compiler import timing_program as compile_timing
+from repro.llm import OPT_13B, random_weights, tiny_config
+from repro.perf.simulator import AcceleratorSimulator
+from repro.runtime import InferenceSession
+
+
+def test_functional_generation_speed(benchmark):
+    session = InferenceSession(random_weights(tiny_config(), seed=0),
+                               simulate_timing=False)
+    result = benchmark(session.generate, [1, 2, 3], 4)
+    assert len(result.tokens) == 4
+
+
+def test_compiler_speed_opt13b(benchmark):
+    program = benchmark(compile_timing, OPT_13B, 1, 575)
+    assert len(program) > 500
+
+
+def test_simulator_speed_opt13b_gen_stage(benchmark):
+    simulator = AcceleratorSimulator(CXLPNMDevice())
+    program = timing_program(OPT_13B, batch_tokens=1, ctx_prev=575)
+    result = benchmark(simulator.run, program)
+    assert result.total_time_s > 0

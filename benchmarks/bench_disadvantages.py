@@ -1,0 +1,14 @@
+"""§V-A bench: the four PIM/PNM disadvantages, quantified."""
+
+from repro.experiments import run_experiment
+
+
+def test_disadvantages(benchmark, record_experiment):
+    result = benchmark(run_experiment, "disadvantages")
+    record_experiment(result)
+    rows = {r["disadvantage"]: r for r in result.rows}
+    benchmark.extra_info["d2_bandwidth_advantage"] = round(
+        rows["D2 PNM bandwidth (GB/s)"]["advantage"], 1)
+    benchmark.extra_info["d4_visible_fraction_dimm"] = \
+        rows["D4 accessible fraction of a 1 GiB region"]["dimm_or_pim"]
+    assert rows["D2 PNM bandwidth (GB/s)"]["advantage"] >= 10.0

@@ -1,0 +1,14 @@
+"""Fig. 2 bench: required capacity/bandwidth per GPT size at 200 ms/token."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig2_capacity_bandwidth(benchmark, record_experiment):
+    result = benchmark(run_experiment, "fig2")
+    record_experiment(result)
+    gpt35 = [r for r in result.rows if "175B" in r["model"]][0]
+    benchmark.extra_info["gpt35_capacity_GiB"] = round(
+        gpt35["capacity_GiB"], 1)
+    benchmark.extra_info["gpt35_required_bw_TB_s"] = round(
+        gpt35["required_bw_TB_s"], 3)
+    assert gpt35["required_bw_TB_s"] > 1.55

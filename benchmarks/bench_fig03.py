@@ -1,0 +1,12 @@
+"""Fig. 3 bench: kernel vs memcpy time for offloaded OPT-30B."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_memcpy_breakdown(benchmark, record_experiment):
+    result = benchmark(run_experiment, "fig3")
+    record_experiment(result)
+    pageable = [r for r in result.rows if r["transfer"] == "pageable"]
+    worst = max(r["memcpy_fraction"] for r in pageable)
+    benchmark.extra_info["memcpy_fraction"] = round(worst, 3)
+    assert worst > 0.95  # paper: ~99%

@@ -1,0 +1,15 @@
+"""Fig. 4 bench: GPU utilization and time breakdown for OPT-6.7B."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_gpu_utilization(benchmark, record_experiment):
+    result = benchmark(run_experiment, "fig4")
+    record_experiment(result)
+    rows = {r["metric"]: r["value"] for r in result.rows}
+    benchmark.extra_info["gen_utilization"] = round(
+        rows["gen-stage GPU utilization"], 3)
+    benchmark.extra_info["gemv_time_share"] = round(
+        rows["GEMV share of execution time"], 3)
+    assert rows["gen-stage GPU utilization"] < 0.25
+    assert rows["GEMV share of execution time"] > 0.75

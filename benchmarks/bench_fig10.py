@@ -1,0 +1,18 @@
+"""Fig. 10 bench: single GPU vs single CXL-PNM device on OPT-13B."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_single_device(benchmark, record_experiment):
+    result = benchmark(run_experiment, "fig10")
+    record_experiment(result)
+    row = [r for r in result.rows if r["output_tokens"] == 1024][0]
+    benchmark.extra_info["throughput_delta@1024"] = round(
+        row["throughput_delta"], 3)
+    benchmark.extra_info["energy_eff_ratio@1024"] = round(
+        row["energy_eff_ratio"], 2)
+    benchmark.extra_info["gpu_power_w"] = round(row["gpu_power_w"], 1)
+    benchmark.extra_info["pnm_power_w"] = round(row["pnm_power_w"], 1)
+    # Paper: -10.8% throughput, 2.9x energy efficiency.
+    assert -0.2 < row["throughput_delta"] < 0.0
+    assert 2.3 < row["energy_eff_ratio"] < 3.5

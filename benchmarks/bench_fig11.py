@@ -1,0 +1,20 @@
+"""Fig. 11 bench: 8-GPU vs 8-device CXL-PNM appliances on OPT-66B."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_appliance(benchmark, record_experiment):
+    result = benchmark(run_experiment, "fig11")
+    record_experiment(result)
+    rows = {r["config"]: r for r in result.rows}
+    dp8 = rows["CXL-PNM DP=8 x MP=1"]
+    mp8 = rows["CXL-PNM DP=1 x MP=8"]
+    benchmark.extra_info["dp8_throughput_delta"] = round(
+        dp8["throughput_delta"], 3)
+    benchmark.extra_info["dp8_energy_ratio"] = round(
+        dp8["energy_eff_ratio"], 2)
+    benchmark.extra_info["mp8_latency_delta"] = round(
+        mp8["latency_delta"], 3)
+    # Paper: +53% / 4.4x (DP=8); -23% latency (MP=8).
+    assert 0.4 < dp8["throughput_delta"] < 0.7
+    assert mp8["latency_delta"] < -0.1

@@ -1,0 +1,14 @@
+"""§IX bench: 1.25 TB hypothetical model on both platforms."""
+
+from repro.experiments import run_experiment
+
+
+def test_scalability(benchmark, record_experiment):
+    result = benchmark(run_experiment, "scalability")
+    record_experiment(result)
+    rows = {r["platform"]: r for r in result.rows}
+    saving = [r for r in result.rows if "saving" in r["platform"]][0]
+    benchmark.extra_info["pnm_devices"] = rows["CXL-PNM"]["devices"]
+    benchmark.extra_info["cost_saving"] = round(saving["hardware_usd"], 3)
+    assert rows["CXL-PNM"]["devices"] == 3
+    assert 0.8 < saving["hardware_usd"] < 0.95  # paper: 87%

@@ -1,0 +1,11 @@
+"""TCO-sensitivity bench: sweep the Table III inputs."""
+
+from repro.experiments import run_experiment
+
+
+def test_sensitivity(benchmark, record_experiment):
+    result = benchmark(run_experiment, "sensitivity")
+    record_experiment(result)
+    benchmark.extra_info["worst_case_pnm_advantage"] = \
+        result.anchors["worst_case_pnm_advantage"]
+    assert result.anchors["worst_case_pnm_advantage"] > 1.0

@@ -1,0 +1,14 @@
+"""Table I bench: memory-module comparison across DRAM technologies."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1_memory_modules(benchmark, record_experiment):
+    result = benchmark(run_experiment, "table1")
+    record_experiment(result)
+    by_tech = {r["technology"]: r for r in result.rows}
+    benchmark.extra_info["lpddr5x"] = (
+        f'{by_tech["LPDDR5X"]["cap_per_module_GB"]:.0f} GB / '
+        f'{by_tech["LPDDR5X"]["bw_per_module_GB_s"]:.0f} GB/s')
+    assert by_tech["LPDDR5X"]["cap_per_module_GB"] == 512
+    assert by_tech["GDDR6"]["bw_per_module_GB_s"] == 1536

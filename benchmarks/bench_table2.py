@@ -1,0 +1,12 @@
+"""Table II bench: CXL-PNM platform parameters."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_platform(benchmark, record_experiment):
+    result = benchmark(run_experiment, "table2")
+    record_experiment(result)
+    rows = {r["parameter"]: r["value"] for r in result.rows}
+    benchmark.extra_info["peak_tflops"] = rows["peak_pe_tflops"]
+    assert rows["num_pes"] == 2048
+    assert abs(rows["peak_pe_tflops"] - 4.096) < 0.01

@@ -1,0 +1,18 @@
+"""Table III bench: hardware and operating cost comparison."""
+
+from repro.experiments import run_experiment
+
+
+def test_table3_tco(benchmark, record_experiment):
+    result = benchmark(run_experiment, "table3")
+    record_experiment(result)
+    gpu = [r for r in result.rows if "GPU" in r["appliance"]][0]
+    pnm = [r for r in result.rows
+           if r["appliance"].startswith("CXL-PNM")][0]
+    benchmark.extra_info["gpu_kwh_per_day"] = round(gpu["kwh_per_day"], 1)
+    benchmark.extra_info["pnm_kwh_per_day"] = round(pnm["kwh_per_day"], 1)
+    benchmark.extra_info["pnm_Mtokens_per_usd"] = round(
+        pnm["Mtokens_per_usd"], 2)
+    # Paper: 43.2 vs 15.4 kWh/day; 0.83 vs 3.54 M tokens/$.
+    assert gpu["kwh_per_day"] > 2 * pnm["kwh_per_day"]
+    assert pnm["Mtokens_per_usd"] > 3 * gpu["Mtokens_per_usd"]

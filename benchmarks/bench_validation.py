@@ -1,0 +1,11 @@
+"""§VII bench: simulator vs analytical model agreement."""
+
+from repro.experiments import run_experiment
+
+
+def test_validation(benchmark, record_experiment):
+    result = benchmark(run_experiment, "validation")
+    record_experiment(result)
+    worst = [r for r in result.rows if r["model"] == "worst case"][0]
+    benchmark.extra_info["worst_rel_error"] = round(worst["rel_error"], 4)
+    assert worst["rel_error"] < 0.05

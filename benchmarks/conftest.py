@@ -1,0 +1,37 @@
+"""Benchmark infrastructure: run an experiment, record, and persist it.
+
+Every benchmark regenerates one paper artifact through its harness in
+``repro.experiments``, times it with pytest-benchmark, stores the headline
+numbers in ``extra_info`` (visible in the benchmark table / JSON), and
+writes the full rendered table to ``benchmarks/results/<id>.txt`` so a
+benchmark run leaves the reproduced figures on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_experiment(results_dir):
+    """Persist an ExperimentResult and return its rendered text."""
+
+    def _record(result):
+        rendered = result.render()
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(rendered + "\n")
+        print()
+        print(rendered)
+        return rendered
+
+    return _record

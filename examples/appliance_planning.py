@@ -1,0 +1,68 @@
+"""Appliance planning: choosing a DP x MP split for an OPT-66B service.
+
+The paper's Fig. 11 story as a planning tool: enumerate every feasible
+parallelism plan for an 8-device CXL-PNM appliance, evaluate latency,
+throughput, energy, and the Table III TCO metrics for each, and compare
+against the 8x A100 baseline — then pick a plan under a latency SLO.
+
+Run:  python examples/appliance_planning.py
+"""
+
+from repro.appliance import (
+    GpuAppliance,
+    ParallelismPlan,
+    PnmAppliance,
+    feasible_plans,
+)
+from repro.gpu import A100_40G
+from repro.llm import OPT_66B
+from repro.tco import cost_summary, daily_operation
+
+INPUT_TOKENS, OUTPUT_TOKENS = 64, 1024
+LATENCY_SLO_S = 40.0
+
+
+def main() -> None:
+    gpu_appliance = GpuAppliance(A100_40G, num_devices=8)
+    pnm_appliance = PnmAppliance(num_devices=8)
+
+    baseline = gpu_appliance.run(OPT_66B, ParallelismPlan(1, 8),
+                                 INPUT_TOKENS, OUTPUT_TOKENS)
+    print(f"baseline {baseline.name}: latency {baseline.latency_s:.1f} s, "
+          f"throughput {baseline.throughput_tokens_per_s:.1f} tok/s")
+    gpu_cost = cost_summary(daily_operation(baseline),
+                            gpu_appliance.hardware_cost_usd)
+    print(f"  {gpu_cost.kwh_per_day:.1f} kWh/day, "
+          f"${gpu_cost.operating_cost_usd_per_day:.2f}/day, "
+          f"{gpu_cost.co2_kg_per_day:.2f} kg CO2/day\n")
+
+    plans = feasible_plans(OPT_66B, 8,
+                           pnm_appliance.device.memory_capacity)
+    print(f"{len(plans)} feasible CXL-PNM plans for OPT-66B on 8 devices:")
+    candidates = []
+    for plan in plans:
+        result = pnm_appliance.run(OPT_66B, plan, INPUT_TOKENS,
+                                   OUTPUT_TOKENS)
+        cost = cost_summary(daily_operation(result),
+                            pnm_appliance.hardware_cost_usd)
+        candidates.append((plan, result, cost))
+        meets = "meets SLO" if result.latency_s <= LATENCY_SLO_S else "   "
+        print(f"  {plan.label:<14} latency {result.latency_s:6.1f} s | "
+              f"throughput {result.throughput_tokens_per_s:5.1f} tok/s | "
+              f"{cost.kwh_per_day:5.1f} kWh/day | "
+              f"{cost.cost_efficiency_tokens_per_usd / 1e6:5.2f} Mtok/$ | "
+              f"{meets}")
+
+    within_slo = [c for c in candidates if c[1].latency_s <= LATENCY_SLO_S]
+    if within_slo:
+        plan, result, cost = max(
+            within_slo, key=lambda c: c[1].throughput_tokens_per_s)
+        print(f"\npick under a {LATENCY_SLO_S:.0f} s SLO: {plan.label} -> "
+              f"{result.throughput_tokens_per_s:.1f} tok/s at "
+              f"{result.latency_s:.1f} s latency, "
+              f"{result.tokens_per_joule / baseline.tokens_per_joule:.1f}x "
+              f"the GPU appliance's energy efficiency")
+
+
+if __name__ == "__main__":
+    main()

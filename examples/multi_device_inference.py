@@ -1,0 +1,63 @@
+"""Host-orchestrated tensor parallelism across simulated CXL-PNM devices.
+
+The paper removed DFX's device-to-device router: instead, all devices
+share one CXL address space with the host, and *the host* moves data
+between them (§V-C).  This example runs a miniature GPT sharded across
+four simulated devices — every activation broadcast and partial-result
+reduction travels as real CXL.mem line transactions — and verifies the
+generated text against the single-device reference, then sizes the same
+orchestration for OPT-66B at MP=8 with the performance models (the
+Fig. 11 configuration).
+
+Run:  python examples/multi_device_inference.py
+"""
+
+from repro.appliance import GpuAppliance, ParallelismPlan, PnmAppliance
+from repro.cxl import Source
+from repro.gpu import A100_40G
+from repro.llm import OPT_66B, ReferenceModel, random_weights, tiny_config
+from repro.runtime import TensorParallelSession
+
+
+def functional_part() -> None:
+    print("=== functional: tiny GPT sharded across 4 devices ===")
+    config = tiny_config()
+    weights = random_weights(config, seed=2024)
+    session = TensorParallelSession(weights, degree=4)
+    prompt = [17, 76, 3]
+    tokens = session.generate(prompt, 8)
+    expected = ReferenceModel(weights).generate(prompt, 8)
+    assert tokens == expected, "sharded execution diverged!"
+    print(f"prompt {prompt} -> {tokens} (matches single-device reference)")
+    print(f"host-orchestrated CXL traffic: {session.host_cxl_writes} "
+          f"line writes, {session.host_cxl_reads} line reads")
+    for i, shard in enumerate(session.devices):
+        reads = shard.cxl.counters.reads[Source.HOST]
+        writes = shard.cxl.counters.writes[Source.HOST]
+        print(f"  device {i}: {shard.driver.launches} launches, "
+              f"host reads/writes {reads}/{writes} lines, "
+              f"{shard.memory.allocated_bytes / 1e3:.0f} KB shard")
+    print()
+
+
+def modelled_part() -> None:
+    print("=== modelled: OPT-66B at MP=8 (the Fig. 11 configuration) ===")
+    pnm = PnmAppliance(num_devices=8)
+    gpu = GpuAppliance(A100_40G, num_devices=8)
+    mp8 = pnm.run(OPT_66B, ParallelismPlan(1, 8), 64, 1024)
+    baseline = gpu.run(OPT_66B, ParallelismPlan(1, 8), 64, 1024)
+    print(f"8x A100 (TP=8):   {baseline.latency_s:6.1f} s, "
+          f"{baseline.throughput_tokens_per_s:5.1f} tok/s, "
+          f"{baseline.appliance_power_w:6.0f} W")
+    print(f"8x CXL-PNM (MP=8): {mp8.latency_s:6.1f} s, "
+          f"{mp8.throughput_tokens_per_s:5.1f} tok/s, "
+          f"{mp8.appliance_power_w:6.0f} W")
+    print(f"latency delta {100 * (mp8.latency_s / baseline.latency_s - 1):+.1f}% "
+          f"(paper: -23%), energy efficiency "
+          f"{mp8.tokens_per_joule / baseline.tokens_per_joule:.1f}x "
+          f"(paper: 2.9x)")
+
+
+if __name__ == "__main__":
+    functional_part()
+    modelled_part()

@@ -1,0 +1,32 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Walks the experiment registry in paper order, prints each reproduced
+artifact as a text table next to the paper's anchor values, and writes
+everything to ``examples/paper_figures_output.txt``.
+
+Run:  python examples/paper_figures.py [experiment-id ...]
+"""
+
+import pathlib
+import sys
+
+from repro.experiments import run_all, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv) -> None:
+    if argv:
+        results = [run_experiment(eid) for eid in argv]
+    else:
+        print(f"running all {len(EXPERIMENTS)} experiments "
+              f"({', '.join(EXPERIMENTS)}) ...\n")
+        results = run_all()
+    rendered = "\n\n".join(result.render() for result in results)
+    print(rendered)
+    out = pathlib.Path(__file__).parent / "paper_figures_output.txt"
+    out.write_text(rendered + "\n")
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,68 @@
+"""RAS study (§IX): ECC correction, scrubbing, and reliability math.
+
+Walks the paper's error-correcting-capability discussion with running
+code: a SECDED-protected memory region absorbing injected bit flips, ECS
+scrubbing stopping single upsets from pairing into uncorrectable errors,
+the inline-ECC capacity tax, and the scrub-interval trade-off (repair
+rate vs bandwidth spent scrubbing) for the 512 GB module.
+
+Run:  python examples/reliability_study.py
+"""
+
+import numpy as np
+
+from repro.accelerator import DeviceMemory
+from repro.memory import InlineEccConfig, ReliableRegion, ScrubPolicy
+from repro.units import GB, MiB
+
+
+def fault_injection_demo() -> None:
+    print("=== SECDED in action: inject, correct, scrub ===")
+    region = ReliableRegion(DeviceMemory(4 * MiB), "protected",
+                            data_words=256)
+    payload = np.arange(256, dtype=np.uint64) * 0x1234_5678
+    region.write_array(payload)
+    affected = region.inject_faults(num_flips=12, seed=5)
+    print(f"injected 12 single-bit upsets into words "
+          f"{sorted(set(affected))[:6]}...")
+    recovered = region.read_array(256)
+    assert np.array_equal(recovered, payload)
+    print(f"all 256 words read back correct "
+          f"({region.corrected_total} corrections on the fly)")
+    report = region.scrub()
+    print(f"scrub pass: {report.words_scanned} words, "
+          f"{report.corrected} rewritten, "
+          f"{report.uncorrectable} uncorrectable")
+    assert region.scrub().corrected == 0
+    print("second scrub finds a clean array\n")
+
+
+def capacity_tax_demo() -> None:
+    print("=== inline-ECC capacity tax on the 512 GB module ===")
+    cfg = InlineEccConfig(module_capacity_bytes=512 * GB)
+    print(f"parity overhead: {cfg.parity_overhead_fraction:.1%} -> "
+          f"{cfg.usable_capacity_bytes / GB:.0f} GB usable")
+    half = InlineEccConfig(module_capacity_bytes=512 * GB,
+                           covered_fraction=0.5)
+    print(f"covering only the model region (50%): "
+          f"{half.usable_capacity_bytes / GB:.0f} GB usable\n")
+
+
+def scrub_interval_tradeoff() -> None:
+    print("=== ECS interval trade-off (512 GB, 1e-12 errors/bit-hour) ===")
+    print(f"{'interval h':>11} {'uncorr/hour':>13} {'scrub MB/s':>11}")
+    for hours in (0.5, 1, 4, 12, 24, 72):
+        policy = ScrubPolicy(bit_error_rate_per_bit_hour=1e-12,
+                             scrub_interval_hours=hours)
+        rate = policy.uncorrectable_rate_per_hour(512 * GB)
+        bw = policy.scrub_bandwidth_bytes_per_s(512 * GB) / 1e6
+        print(f"{hours:11.1f} {rate:13.3e} {bw:11.2f}")
+    print("\nreading: daily scrubbing costs ~6 MB/s of the 1.1 TB/s "
+          "module (negligible)\nwhile keeping expected uncorrectable "
+          "errors far below one per device-decade.")
+
+
+if __name__ == "__main__":
+    fault_injection_demo()
+    capacity_tax_demo()
+    scrub_interval_tradeoff()

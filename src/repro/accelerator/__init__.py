@@ -1,0 +1,54 @@
+"""The CXL-PNM LLM inference accelerator: ISA, executor, compiler, device."""
+
+from repro.accelerator.compiler import (
+    TILE_DIM,
+    ModelLayout,
+    StageCompiler,
+    load_model,
+    timing_program,
+)
+from repro.accelerator.dfx import dfx_device, dfx_memory
+from repro.accelerator.control import ControlRegister, ControlUnit, Status
+from repro.accelerator.device import AcceleratorSpec, CXLPNMDevice
+from repro.accelerator.dma import DmaTiming
+from repro.accelerator.engine import ExecutionStats, Executor
+from repro.accelerator.memory import ALIGNMENT, DeviceMemory, Region
+from repro.accelerator.mpu import MpuTiming
+from repro.accelerator.registers import (
+    MATRIX_RF_BYTES,
+    SCALAR_RF_BYTES,
+    VECTOR_RF_BYTES,
+    RegisterAllocator,
+    RegisterFileState,
+    bank_of,
+)
+from repro.accelerator.vpu import VpuTiming
+
+__all__ = [
+    "dfx_device",
+    "dfx_memory",
+    "ALIGNMENT",
+    "AcceleratorSpec",
+    "CXLPNMDevice",
+    "ControlRegister",
+    "ControlUnit",
+    "DeviceMemory",
+    "DmaTiming",
+    "ExecutionStats",
+    "Executor",
+    "MATRIX_RF_BYTES",
+    "ModelLayout",
+    "MpuTiming",
+    "Region",
+    "RegisterAllocator",
+    "RegisterFileState",
+    "SCALAR_RF_BYTES",
+    "StageCompiler",
+    "Status",
+    "TILE_DIM",
+    "VECTOR_RF_BYTES",
+    "VpuTiming",
+    "bank_of",
+    "load_model",
+    "timing_program",
+]

@@ -1,0 +1,283 @@
+"""Compiler: lowers transformer stages into acceleration code.
+
+The CXL-PNM Python library accelerates layer functions by programming the
+instruction buffer with sequences of accelerator instructions (paper §VI).
+This module is the code generator: given a model layout in device memory
+and the stage geometry, it emits the acceleration code for a full sum or
+gen stage — QKV generation on the PE array or adder trees, REDUMAX-fused
+masked attention, softmax, projection, FFN with GELU, KV-cache append, and
+the LM head with greedy argmax.
+
+The emitted code is consumed three ways, from one source of truth:
+
+* the functional executor runs it (token-exact vs the numpy reference);
+* the timing simulator schedules it onto DMA/PE-array/adder-tree/VPU;
+* the driver writes it into the simulated instruction buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerator import isa
+from repro.accelerator.memory import DeviceMemory, Region
+from repro.accelerator.registers import RegisterAllocator
+from repro.errors import CapacityError, ConfigurationError
+from repro.llm.config import LLMConfig
+from repro.llm.reference import LN_EPS, ModelWeights
+
+#: Tile dimension of the matrix units; the paper doubles DFX's 64 to 128
+#: to exploit the 1.1 TB/s module (§V-C).  Matmul dimensions need not be
+#: multiples of it functionally, but the timing model rounds tiles up.
+TILE_DIM = 128
+
+
+@dataclass(frozen=True)
+class ModelLayout:
+    """Addresses of every model tensor and working buffer in device memory.
+
+    Attributes:
+        config: The model architecture.
+        regions: Tensor name -> allocated region (weights, caches, I/O).
+    """
+
+    config: LLMConfig
+    regions: Dict[str, Region]
+
+    def addr(self, name: str) -> int:
+        try:
+            return self.regions[name].addr
+        except KeyError:
+            raise ConfigurationError(f"layout has no tensor {name!r}")
+
+    @property
+    def output_region(self) -> Region:
+        return self.regions["output_buffer"]
+
+    @property
+    def input_region(self) -> Region:
+        return self.regions["input_buffer"]
+
+
+def load_model(memory: DeviceMemory, weights: ModelWeights) -> ModelLayout:
+    """Write a model's parameters into device memory and build its layout.
+
+    Also allocates the per-layer KV-cache regions (``max_seq_len`` rows
+    each, the aggregated K and V matrices of §II-B) and the designated
+    input/output buffers the driver exposes (§VI step 2/3).
+    """
+    config = weights.config
+    regions: Dict[str, Region] = {}
+    for name, tensor in weights.named_tensors().items():
+        regions[name] = memory.store_named(name, tensor)
+    for i in range(config.num_layers):
+        for which in ("kcache", "vcache"):
+            name = f"layer{i}.{which}"
+            regions[name] = memory.alloc_tensor(
+                name, (config.max_seq_len, config.d_model))
+    regions["input_buffer"] = memory.alloc_tensor(
+        "input_buffer", (config.max_seq_len, config.d_model))
+    regions["output_buffer"] = memory.alloc_tensor("output_buffer", (8,))
+    return ModelLayout(config=config, regions=regions)
+
+
+class StageCompiler:
+    """Emits acceleration code for one inference stage."""
+
+    def __init__(self, layout: ModelLayout):
+        self.layout = layout
+        self.config = layout.config
+
+    def _matmul(self, out: str, act: str, weight: str, m: int, k: int,
+                n: int, code: List[isa.Instruction]) -> None:
+        """GEMM on the PE array for multi-token rows, GEMV otherwise."""
+        addr = self.layout.addr(weight)
+        if m > 1:
+            code.append(isa.MpuMmPea(dst=out, act=act, weight_addr=addr,
+                                     m=m, k=k, n=n))
+        else:
+            code.append(isa.MpuMv(dst=out, act=act, weight_addr=addr,
+                                  k=k, n=n))
+
+    def _layer(self, x: str, layer_idx: int, m: int, ctx_prev: int,
+               regs: RegisterAllocator, code: List[isa.Instruction]) -> str:
+        cfg = self.config
+        d, dff = cfg.d_model, cfg.d_ff
+        heads, hd = cfg.num_heads, cfg.head_dim
+        ctx = ctx_prev + m
+        prefix = f"layer{layer_idx}."
+        addr = self.layout.addr
+
+        h = regs.matrix()
+        code.append(isa.VpuLayerNorm(dst=h, src=x,
+                                     gamma_addr=addr(prefix + "ln1_gamma"),
+                                     beta_addr=addr(prefix + "ln1_beta"),
+                                     n=d, eps=LN_EPS))
+        qkv = regs.matrix()
+        self._matmul(qkv, h, prefix + "w_qkv", m, d, 3 * d, code)
+        code.append(isa.VpuBias(dst=qkv, src=qkv,
+                                bias_addr=addr(prefix + "b_qkv"), n=3 * d))
+        q, k_new, v_new = regs.matrix(), regs.matrix(), regs.matrix()
+        code.append(isa.VpuSlice(dst=q, src=qkv, start=0, stop=d))
+        code.append(isa.VpuSlice(dst=k_new, src=qkv, start=d, stop=2 * d))
+        code.append(isa.VpuSlice(dst=v_new, src=qkv, start=2 * d,
+                                 stop=3 * d))
+        # Append this stage's K/V rows to the aggregated cache (§II-B).
+        row_bytes = d * 4
+        code.append(isa.DmaStore(
+            src=k_new, addr=addr(prefix + "kcache") + ctx_prev * row_bytes,
+            shape=(m, d)))
+        code.append(isa.DmaStore(
+            src=v_new, addr=addr(prefix + "vcache") + ctx_prev * row_bytes,
+            shape=(m, d)))
+        scores, rowmax = regs.matrix(), regs.vector()
+        code.append(isa.MpuMaskedMm(
+            dst=scores, q=q, k_addr=addr(prefix + "kcache"), heads=heads,
+            head_dim=hd, ctx=ctx, m=m, scale=1.0 / math.sqrt(hd),
+            mask_offset=ctx_prev, rowmax_dst=rowmax))
+        probs = regs.matrix()
+        code.append(isa.VpuSoftmax(dst=probs, src=scores, rowmax=rowmax))
+        attn = regs.matrix()
+        code.append(isa.MpuAttnContext(
+            dst=attn, probs=probs, v_addr=addr(prefix + "vcache"),
+            heads=heads, head_dim=hd, ctx=ctx, m=m))
+        proj = regs.matrix()
+        self._matmul(proj, attn, prefix + "w_proj", m, d, d, code)
+        code.append(isa.VpuBias(dst=proj, src=proj,
+                                bias_addr=addr(prefix + "b_proj"), n=d))
+        x2 = regs.matrix()
+        code.append(isa.VpuAdd(dst=x2, a=x, b=proj))
+        code.append(isa.Free(regs=(h, qkv, q, k_new, v_new, scores, rowmax,
+                                   probs, attn, proj, x)))
+
+        h2 = regs.matrix()
+        code.append(isa.VpuLayerNorm(dst=h2, src=x2,
+                                     gamma_addr=addr(prefix + "ln2_gamma"),
+                                     beta_addr=addr(prefix + "ln2_beta"),
+                                     n=d, eps=LN_EPS))
+        f1 = regs.matrix()
+        self._matmul(f1, h2, prefix + "w_fc1", m, d, dff, code)
+        code.append(isa.VpuBias(dst=f1, src=f1,
+                                bias_addr=addr(prefix + "b_fc1"), n=dff))
+        g = regs.matrix()
+        code.append(isa.VpuGelu(dst=g, src=f1))
+        f2 = regs.matrix()
+        self._matmul(f2, g, prefix + "w_fc2", m, dff, d, code)
+        code.append(isa.VpuBias(dst=f2, src=f2,
+                                bias_addr=addr(prefix + "b_fc2"), n=d))
+        x3 = regs.matrix()
+        code.append(isa.VpuAdd(dst=x3, a=x2, b=f2))
+        code.append(isa.Free(regs=(h2, f1, g, f2, x2)))
+        return x3
+
+    def compile_stage(self, tokens: Sequence[int], ctx_prev: int
+                      ) -> Tuple[isa.Instruction, ...]:
+        """Acceleration code for one stage over ``tokens``.
+
+        ``ctx_prev`` is the number of tokens already in the KV cache: 0
+        for the sum stage, ``L - 1`` for a gen stage.  The code embeds the
+        tokens, runs all decoding layers, and leaves the argmax-sampled
+        next token in the designated output buffer.
+        """
+        cfg = self.config
+        m = len(tokens)
+        if m == 0:
+            raise ConfigurationError("stage needs at least one token")
+        if ctx_prev + m > cfg.max_seq_len:
+            raise CapacityError(
+                f"stage would reach {ctx_prev + m} tokens, beyond "
+                f"max_seq_len={cfg.max_seq_len}")
+        regs = RegisterAllocator()
+        code: List[isa.Instruction] = []
+        addr = self.layout.addr
+
+        tok = regs.matrix()
+        code.append(isa.DmaGather(dst=tok,
+                                  table_addr=addr("token_embedding"),
+                                  row_elems=cfg.d_model,
+                                  indices=tuple(int(t) for t in tokens)))
+        pos = regs.matrix()
+        code.append(isa.DmaLoad(
+            dst=pos,
+            addr=addr("position_embedding") + ctx_prev * cfg.d_model * 4,
+            shape=(m, cfg.d_model)))
+        x = regs.matrix()
+        code.append(isa.VpuAdd(dst=x, a=tok, b=pos))
+        code.append(isa.Free(regs=(tok, pos)))
+
+        for layer_idx in range(cfg.num_layers):
+            x = self._layer(x, layer_idx, m, ctx_prev, regs, code)
+
+        last = regs.matrix()
+        code.append(isa.VpuRow(dst=last, src=x, row=-1))
+        final = regs.matrix()
+        code.append(isa.VpuLayerNorm(dst=final, src=last,
+                                     gamma_addr=addr("ln_f_gamma"),
+                                     beta_addr=addr("ln_f_beta"),
+                                     n=cfg.d_model, eps=LN_EPS))
+        logits = regs.matrix()
+        code.append(isa.MpuMv(dst=logits, act=final,
+                              weight_addr=addr("lm_head"),
+                              k=cfg.d_model, n=cfg.vocab_size))
+        token_reg = regs.scalar()
+        code.append(isa.VpuArgmax(dst=token_reg, src=logits))
+        code.append(isa.DmaStore(src=token_reg,
+                                 addr=self.layout.output_region.addr,
+                                 shape=(1,)))
+        code.append(isa.Free(regs=(x, last, final, logits, token_reg)))
+        code.append(isa.Barrier())
+        return tuple(code)
+
+    def compile_sum_stage(self, prompt: Sequence[int]
+                          ) -> Tuple[isa.Instruction, ...]:
+        """Sum stage: the whole prompt, empty cache."""
+        return self.compile_stage(prompt, ctx_prev=0)
+
+    def compile_gen_stage(self, token: int, context_len: int
+                          ) -> Tuple[isa.Instruction, ...]:
+        """Gen stage: one token against ``context_len - 1`` cached tokens."""
+        if context_len < 1:
+            raise ConfigurationError("gen stage needs prior context")
+        return self.compile_stage([token], ctx_prev=context_len - 1)
+
+
+def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int
+                   ) -> Tuple[isa.Instruction, ...]:
+    """A stage program with placeholder tokens/addresses for timing only.
+
+    Builds a fake layout with correctly-sized regions but no backing
+    memory, so the timing simulator can schedule real instruction streams
+    for models far larger than simulatable memory.
+    """
+    regions: Dict[str, Region] = {}
+    cursor = 0
+
+    def fake(name: str, elems: int) -> None:
+        nonlocal cursor
+        regions[name] = Region(name=name, addr=cursor, nbytes=elems * 4)
+        cursor += elems * 4
+
+    d, dff, vocab = config.d_model, config.d_ff, config.vocab_size
+    fake("token_embedding", vocab * d)
+    fake("position_embedding", config.max_seq_len * d)
+    for i in range(config.num_layers):
+        p = f"layer{i}."
+        for name, elems in (
+                ("ln1_gamma", d), ("ln1_beta", d),
+                ("w_qkv", d * 3 * d), ("b_qkv", 3 * d),
+                ("w_proj", d * d), ("b_proj", d),
+                ("ln2_gamma", d), ("ln2_beta", d),
+                ("w_fc1", d * dff), ("b_fc1", dff),
+                ("w_fc2", dff * d), ("b_fc2", d),
+                ("kcache", config.max_seq_len * d),
+                ("vcache", config.max_seq_len * d)):
+            fake(p + name, elems)
+    fake("ln_f_gamma", d)
+    fake("ln_f_beta", d)
+    fake("lm_head", d * vocab)
+    fake("input_buffer", config.max_seq_len * d)
+    fake("output_buffer", 8)
+    layout = ModelLayout(config=config, regions=regions)
+    return StageCompiler(layout).compile_stage([0] * batch_tokens, ctx_prev)

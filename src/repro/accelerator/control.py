@@ -1,0 +1,99 @@
+"""Accelerator control unit: control registers and instruction buffer.
+
+Paper §VI: the control unit exposes ten 32-bit control registers holding
+the architectural parameters of the model being run (decoding layers,
+input/output token counts, ...) and the device-memory addresses of the
+regions the inference engine operates on.  The host programs them over
+CXL.io through the driver, writes acceleration code into the instruction
+buffer, and kicks execution; completion raises an MSI-X interrupt (or a
+pollable status flag).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.accelerator import isa
+from repro.errors import DriverError
+
+
+class ControlRegister(enum.IntEnum):
+    """The ten 32-bit control registers (§VI)."""
+
+    NUM_LAYERS = 0
+    NUM_INPUT_TOKENS = 1
+    NUM_OUTPUT_TOKENS = 2
+    MODEL_BASE_ADDR = 3
+    KV_CACHE_BASE_ADDR = 4
+    INPUT_BUFFER_ADDR = 5
+    OUTPUT_BUFFER_ADDR = 6
+    INSTRUCTION_COUNT = 7
+    STATUS = 8
+    INTERRUPT_ENABLE = 9
+
+
+class Status(enum.IntEnum):
+    """Values of the STATUS control register."""
+
+    IDLE = 0
+    RUNNING = 1
+    DONE = 2
+    ERROR = 3
+
+
+_REG_MASK = 0xFFFF_FFFF
+
+
+@dataclass
+class ControlUnit:
+    """Register file + instruction buffer of the accelerator front end."""
+
+    max_instructions: int = 1 << 20
+
+    _registers: list = field(default_factory=lambda: [0] * 10)
+    _instruction_buffer: Tuple[isa.Instruction, ...] = ()
+
+    def write_register(self, reg: ControlRegister, value: int) -> None:
+        if not isinstance(reg, ControlRegister):
+            reg = ControlRegister(reg)
+        if value < 0:
+            raise DriverError(f"register {reg.name}: negative value {value}")
+        self._registers[reg] = value & _REG_MASK
+
+    def read_register(self, reg: ControlRegister) -> int:
+        if not isinstance(reg, ControlRegister):
+            reg = ControlRegister(reg)
+        return self._registers[reg]
+
+    @property
+    def status(self) -> Status:
+        return Status(self._registers[ControlRegister.STATUS])
+
+    def set_status(self, status: Status) -> None:
+        self._registers[ControlRegister.STATUS] = int(status)
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self._registers[ControlRegister.INTERRUPT_ENABLE])
+
+    def program(self, code: Tuple[isa.Instruction, ...]) -> None:
+        """Load acceleration code into the instruction buffer."""
+        if self.status is Status.RUNNING:
+            raise DriverError("cannot program while the accelerator runs")
+        if len(code) == 0:
+            raise DriverError("empty acceleration code")
+        if len(code) > self.max_instructions:
+            raise DriverError(
+                f"{len(code)} instructions exceed the buffer size "
+                f"{self.max_instructions}")
+        isa.validate_program(code)
+        self._instruction_buffer = tuple(code)
+        self._registers[ControlRegister.INSTRUCTION_COUNT] = len(code)
+
+    @property
+    def instruction_buffer(self) -> Tuple[isa.Instruction, ...]:
+        if not self._instruction_buffer:
+            raise DriverError("instruction buffer not programmed")
+        return self._instruction_buffer

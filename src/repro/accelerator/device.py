@@ -1,0 +1,156 @@
+"""The CXL-PNM device: memory module + controller + LLM accelerator.
+
+Composes the pieces of paper §V into one object: the LPDDR5X CXL module
+(§IV), the CXL-PNM controller with its arbiter (Fig. 6), and the LLM
+inference accelerator (Fig. 7/8, Table II).  The performance and TCO
+models consume the device's peak/effective rates and power parameters;
+the runtime stack instantiates its functional parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerator.dma import DmaTiming
+from repro.accelerator.mpu import MpuTiming
+from repro.accelerator.vpu import VpuTiming
+from repro.cxl.link import CXLLink, GEN5_X16
+from repro.errors import ConfigurationError
+from repro.memory.module import MemoryModule, lpddr5x_module
+from repro.memory.timing import ChannelTimingModel, SEQUENTIAL_STREAM
+from repro.units import GHZ, MiB
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Table II: CXL-PNM platform architecture and operating parameters."""
+
+    num_pes: int = 2048
+    adder_tree_multipliers: int = 2048
+    adder_tree_adders: int = 2032
+    register_file_bytes: int = 63 * MiB
+    dma_buffer_bytes: int = 1 * MiB
+    dram_io_width: int = 1024
+    sram_io_width: int = 16384
+    technology_nm: int = 7
+    clock_hz: float = 1.0 * GHZ
+    voltage: float = 1.0
+    controller_max_watts: float = 90.0
+    dram_max_watts: float = 40.0
+    platform_max_watts: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 0 or self.clock_hz <= 0:
+            raise ConfigurationError("invalid accelerator spec")
+        if self.num_pes == 0 and self.adder_tree_multipliers <= 0:
+            raise ConfigurationError(
+                "accelerator needs a PE array or adder trees")
+
+    @property
+    def has_pe_array(self) -> bool:
+        """False for tree-only baselines such as DFX."""
+        return self.num_pes > 0
+
+    @property
+    def peak_gemm_flops(self) -> float:
+        """PE-array peak: 2,048 MACs x 2 ops x clock = 4.09 TFLOPS."""
+        return 2.0 * self.num_pes * self.clock_hz
+
+    @property
+    def peak_gemv_flops(self) -> float:
+        """Adder-tree peak (multipliers + adders work in lockstep)."""
+        return 2.0 * self.adder_tree_multipliers * self.clock_hz
+
+
+@dataclass(frozen=True)
+class CXLPNMDevice:
+    """One CXL-PNM card: module, controller, accelerator, and power.
+
+    Attributes:
+        spec: The accelerator's Table II parameters.
+        module: The LPDDR5X CXL memory module behind the controller.
+        link: The host-facing CXL port.
+        price_usd: Per-device hardware cost (Table III: $7,000).
+        idle_watts: Card power when idle (CXL IPs + standby DRAM).
+    """
+
+    spec: AcceleratorSpec = field(default_factory=AcceleratorSpec)
+    module: MemoryModule = field(default_factory=lpddr5x_module)
+    link: CXLLink = GEN5_X16
+    price_usd: float = 7_000.0
+    idle_watts: float = 30.0
+
+    @property
+    def memory_capacity(self) -> int:
+        return self.module.capacity_bytes
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        return self.module.peak_bandwidth
+
+    @property
+    def effective_memory_bandwidth(self) -> float:
+        """Streaming bandwidth after channel-timing derating."""
+        timing = ChannelTimingModel(self.module)
+        return timing.effective_bandwidth(SEQUENTIAL_STREAM)
+
+    def mpu_timing(self) -> MpuTiming:
+        """Matrix-unit timing derived from the spec's datapath geometry."""
+        tree_lanes = 16
+        tree_width = max(1, self.spec.adder_tree_multipliers // tree_lanes)
+        if not self.spec.has_pe_array:
+            return MpuTiming(pe_rows=0, pe_cols=0, tree_lanes=tree_lanes,
+                             tree_width=tree_width, gemm_via_tree=True)
+        pe_cols = 32
+        return MpuTiming(pe_rows=self.spec.num_pes // pe_cols,
+                         pe_cols=pe_cols, tree_lanes=tree_lanes,
+                         tree_width=tree_width)
+
+    def vpu_timing(self) -> VpuTiming:
+        return VpuTiming(lanes=self.spec.sram_io_width // 16)
+
+    def dma_timing(self) -> DmaTiming:
+        return DmaTiming(bandwidth=self.effective_memory_bandwidth,
+                         buffer_bytes=self.spec.dma_buffer_bytes)
+
+    def power_watts(self, compute_utilization: float,
+                    bandwidth_utilization: float) -> float:
+        """Operating power from compute and memory utilization.
+
+        The controller (CXL IPs + accelerator) scales from idle toward its
+        90 W ceiling with compute utilization; DRAM power comes from the
+        module model at the achieved bandwidth.  The sum is capped by the
+        150 W card budget.
+        """
+        for name, u in (("compute", compute_utilization),
+                        ("bandwidth", bandwidth_utilization)):
+            if not 0.0 <= u <= 1.0:
+                raise ConfigurationError(f"{name} utilization {u} not in "
+                                         f"[0, 1]")
+        controller = self.idle_watts + compute_utilization * (
+            self.spec.controller_max_watts - self.idle_watts)
+        dram = self.module.power_model.power_watts(bandwidth_utilization)
+        return min(controller + dram, self.spec.platform_max_watts)
+
+    def table2(self) -> dict:
+        """Render Table II's rows from the spec."""
+        spec = self.spec
+        return {
+            "num_pes": spec.num_pes,
+            "peak_pe_tflops": spec.peak_gemm_flops / 1e12,
+            "adder_tree_multipliers": spec.adder_tree_multipliers,
+            "adder_tree_adders": spec.adder_tree_adders,
+            "peak_tree_tflops": spec.peak_gemv_flops / 1e12,
+            "register_file_mb": spec.register_file_bytes / MiB,
+            "dma_buffer_mb": spec.dma_buffer_bytes / MiB,
+            "dram_io_width": spec.dram_io_width,
+            "sram_io_width": spec.sram_io_width,
+            "technology_nm": spec.technology_nm,
+            "frequency_ghz": spec.clock_hz / GHZ,
+            "voltage": spec.voltage,
+            "controller_max_watts": spec.controller_max_watts,
+            "dram_max_watts": spec.dram_max_watts,
+            "platform_max_watts": spec.platform_max_watts,
+            "memory_capacity_gb": self.memory_capacity / 1e9,
+            "peak_bandwidth_tb_s": self.peak_memory_bandwidth / 1e12,
+        }

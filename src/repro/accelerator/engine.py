@@ -1,0 +1,269 @@
+"""Functional executor: runs acceleration code with exact numpy semantics.
+
+This is the "RTL" of the reproduction: every instruction from
+:mod:`repro.accelerator.isa` has precise arithmetic semantics here, chosen
+to be *bit-identical in float32* to the golden model in
+:mod:`repro.llm.reference`.  Integration tests generate text through the
+full driver/compiler/executor path and assert token-exact agreement with
+the reference transformer.
+
+The executor owns a :class:`~repro.accelerator.memory.DeviceMemory` (model
+parameters, KV cache, I/O buffers) and a
+:class:`~repro.accelerator.registers.RegisterFileState` (live activations),
+and enforces both address ranges and register-file capacity while running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator import isa
+from repro.accelerator.memory import DeviceMemory
+from repro.accelerator.registers import RegisterFileState
+from repro.errors import ExecutionError
+from repro.llm.reference import causal_mask, gelu, layernorm, softmax
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated over one program run."""
+
+    instructions: int = 0
+    flops: float = 0.0
+    mem_elems: float = 0.0
+    by_opcode: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, instr: isa.Instruction, extra_mem_elems: float = 0.0
+               ) -> None:
+        self.instructions += 1
+        self.flops += instr.flops()
+        self.mem_elems += instr.mem_elems() + extra_mem_elems
+        self.by_opcode[instr.opcode] = self.by_opcode.get(instr.opcode, 0) + 1
+
+
+class Executor:
+    """Interprets acceleration code against device memory and registers."""
+
+    def __init__(self, memory: DeviceMemory,
+                 registers: Optional[RegisterFileState] = None):
+        self.memory = memory
+        self.registers = registers or RegisterFileState()
+        self.stats = ExecutionStats()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _reg2d(self, name: str) -> np.ndarray:
+        value = self.registers.read(name)
+        if value.ndim == 1:
+            return value.reshape(1, -1)
+        return value
+
+    # -- instruction semantics --------------------------------------------
+
+    def _exec_dma_load(self, instr: isa.DmaLoad) -> None:
+        self.registers.write(instr.dst,
+                             self.memory.read_tensor(instr.addr, instr.shape))
+
+    def _exec_dma_store(self, instr: isa.DmaStore) -> float:
+        value = self.registers.read(instr.src)
+        self.memory.write_tensor(instr.addr, value)
+        return float(value.size)
+
+    def _exec_dma_gather(self, instr: isa.DmaGather) -> None:
+        rows = [self.memory.read_row(instr.table_addr, i, instr.row_elems)
+                for i in instr.indices]
+        self.registers.write(instr.dst, np.stack(rows, axis=0))
+
+    def _exec_mv(self, instr: isa.MpuMv) -> None:
+        act = self._reg2d(instr.act)
+        if act.shape != (1, instr.k):
+            raise ExecutionError(
+                f"MPU_MV: activation shape {act.shape} != (1, {instr.k})")
+        weight = self.memory.read_tensor(instr.weight_addr,
+                                         (instr.k, instr.n))
+        self.registers.write(instr.dst, act @ weight)
+
+    def _exec_mm_pea(self, instr: isa.MpuMmPea) -> None:
+        act = self._reg2d(instr.act)
+        if act.shape != (instr.m, instr.k):
+            raise ExecutionError(
+                f"{instr.opcode}: activation shape {act.shape} != "
+                f"({instr.m}, {instr.k})")
+        weight = self.memory.read_tensor(instr.weight_addr,
+                                         (instr.k, instr.n))
+        result = act @ weight
+        self.registers.write(instr.dst, result)
+        if isinstance(instr, isa.MpuMmRedumaxPea):
+            self.registers.write(instr.rowmax_dst,
+                                 result.max(axis=-1, keepdims=True))
+
+    def _exec_masked_mm(self, instr: isa.MpuMaskedMm) -> None:
+        q = self._reg2d(instr.q)
+        d_local = instr.heads * instr.head_dim
+        if q.shape != (instr.m, d_local):
+            raise ExecutionError(
+                f"{instr.opcode}: q shape {q.shape} != ({instr.m}, {d_local})")
+        keys = self.memory.read_tensor(instr.k_addr, (instr.ctx, d_local))
+        mask = causal_mask(instr.m, instr.ctx, instr.mask_offset)
+        scale = np.float32(instr.scale)
+        scores = np.empty((instr.heads, instr.m, instr.ctx),
+                          dtype=np.float32)
+        for h in range(instr.heads):
+            sl = slice(h * instr.head_dim, (h + 1) * instr.head_dim)
+            raw = (q[:, sl] @ keys[:, sl].T) * scale
+            scores[h] = np.where(mask, raw, np.float32(-1e9))
+        self.registers.write(instr.dst, scores)
+        if instr.rowmax_dst:
+            self.registers.write(instr.rowmax_dst,
+                                 scores.max(axis=-1, keepdims=True))
+
+    def _exec_attn_ctx(self, instr: isa.MpuAttnContext) -> None:
+        probs = self.registers.read(instr.probs)
+        expected = (instr.heads, instr.m, instr.ctx)
+        if probs.shape != expected:
+            raise ExecutionError(
+                f"{instr.opcode}: probs shape {probs.shape} != {expected}")
+        d_local = instr.heads * instr.head_dim
+        values = self.memory.read_tensor(instr.v_addr, (instr.ctx, d_local))
+        out = np.empty((instr.m, d_local), dtype=np.float32)
+        for h in range(instr.heads):
+            sl = slice(h * instr.head_dim, (h + 1) * instr.head_dim)
+            out[:, sl] = probs[h] @ values[:, sl]
+        self.registers.write(instr.dst, out)
+
+    def _exec_conv2d(self, instr: isa.MpuConv2d) -> None:
+        act = self.registers.read(instr.act)
+        if act.shape != (instr.in_ch, instr.h, instr.w):
+            raise ExecutionError(
+                f"{instr.opcode}: act shape {act.shape} != "
+                f"({instr.in_ch}, {instr.h}, {instr.w})")
+        weight = self.memory.read_tensor(
+            instr.weight_addr,
+            (instr.out_ch, instr.in_ch, instr.kh, instr.kw))
+        oh, ow = instr.out_hw
+        # im2col: unfold input patches into a [oh*ow, in_ch*kh*kw] matrix.
+        cols = np.empty((oh * ow, instr.in_ch * instr.kh * instr.kw),
+                        dtype=np.float32)
+        idx = 0
+        for i in range(0, instr.h - instr.kh + 1, instr.stride):
+            for j in range(0, instr.w - instr.kw + 1, instr.stride):
+                patch = act[:, i:i + instr.kh, j:j + instr.kw]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+        flat_w = weight.reshape(instr.out_ch, -1)
+        out = (cols @ flat_w.T).T.reshape(instr.out_ch, oh, ow)
+        if instr.gelu:
+            out = gelu(out)
+        self.registers.write(instr.dst, out.astype(np.float32))
+
+    def _exec_transpose(self, instr: isa.MpuTranspose) -> None:
+        value = self._reg2d(instr.src)
+        self.registers.write(instr.dst, np.ascontiguousarray(value.T))
+
+    def _exec_softmax(self, instr: isa.VpuSoftmax) -> None:
+        src = self.registers.read(instr.src)
+        if instr.rowmax:
+            # REDUMAX-fused path: reuse the precomputed maxima; identical
+            # arithmetic to the reference's internal max because both max
+            # over the same axis of the same float32 array.
+            maxima = self.registers.read(instr.rowmax)
+            shifted = src - maxima
+            e = np.exp(shifted)
+            result = e / e.sum(axis=-1, keepdims=True)
+        else:
+            result = softmax(src, axis=-1)
+        self.registers.write(instr.dst, result.astype(np.float32))
+
+    def _exec_layernorm(self, instr: isa.VpuLayerNorm) -> None:
+        src = self._reg2d(instr.src)
+        gamma = self.memory.read_tensor(instr.gamma_addr, (instr.n,))
+        beta = self.memory.read_tensor(instr.beta_addr, (instr.n,))
+        self.registers.write(instr.dst,
+                             layernorm(src, gamma, beta, eps=instr.eps))
+
+    def _exec_bias(self, instr: isa.VpuBias) -> None:
+        src = self._reg2d(instr.src)
+        bias = self.memory.read_tensor(instr.bias_addr, (instr.n,))
+        self.registers.write(instr.dst, src + bias)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def execute(self, program: Sequence[isa.Instruction]) -> ExecutionStats:
+        """Run a program to completion, returning accumulated statistics."""
+        isa.validate_program(tuple(program))
+        for instr in program:
+            extra = 0.0
+            if isinstance(instr, isa.DmaLoad):
+                self._exec_dma_load(instr)
+            elif isinstance(instr, isa.DmaStore):
+                extra = self._exec_dma_store(instr)
+            elif isinstance(instr, isa.DmaGather):
+                self._exec_dma_gather(instr)
+            elif isinstance(instr, isa.MpuMmPea):
+                self._exec_mm_pea(instr)
+            elif isinstance(instr, isa.MpuMv):
+                self._exec_mv(instr)
+            elif isinstance(instr, isa.MpuMaskedMm):
+                self._exec_masked_mm(instr)
+            elif isinstance(instr, isa.MpuAttnContext):
+                self._exec_attn_ctx(instr)
+            elif isinstance(instr, isa.MpuConv2d):
+                self._exec_conv2d(instr)
+            elif isinstance(instr, isa.MpuTranspose):
+                self._exec_transpose(instr)
+            elif isinstance(instr, isa.VpuAdd):
+                self.registers.write(
+                    instr.dst, self.registers.read(instr.a)
+                    + self.registers.read(instr.b))
+            elif isinstance(instr, isa.VpuMul):
+                self.registers.write(
+                    instr.dst, self.registers.read(instr.a)
+                    * self.registers.read(instr.b))
+            elif isinstance(instr, isa.VpuScale):
+                self.registers.write(
+                    instr.dst,
+                    self.registers.read(instr.src) * np.float32(
+                        instr.constant))
+            elif isinstance(instr, isa.VpuBias):
+                self._exec_bias(instr)
+            elif isinstance(instr, isa.VpuGelu):
+                self.registers.write(instr.dst,
+                                     gelu(self.registers.read(instr.src)))
+            elif isinstance(instr, isa.VpuSoftmax):
+                self._exec_softmax(instr)
+            elif isinstance(instr, isa.VpuLayerNorm):
+                self._exec_layernorm(instr)
+            elif isinstance(instr, isa.VpuArgmax):
+                src = self._reg2d(instr.src)
+                self.registers.write(
+                    instr.dst,
+                    np.array([np.argmax(src[-1])], dtype=np.float32))
+            elif isinstance(instr, isa.VpuSlice):
+                src = self._reg2d(instr.src)
+                if instr.stop > src.shape[-1]:
+                    raise ExecutionError(
+                        f"VPU_SLICE [{instr.start}:{instr.stop}) exceeds "
+                        f"width {src.shape[-1]}")
+                self.registers.write(
+                    instr.dst,
+                    np.ascontiguousarray(src[:, instr.start:instr.stop]))
+            elif isinstance(instr, isa.VpuRow):
+                src = self._reg2d(instr.src)
+                row = instr.row if instr.row >= 0 else src.shape[0] + instr.row
+                if not 0 <= row < src.shape[0]:
+                    raise ExecutionError(
+                        f"VPU_ROW {instr.row} outside {src.shape[0]} rows")
+                self.registers.write(instr.dst, src[row:row + 1].copy())
+            elif isinstance(instr, isa.Free):
+                for reg in instr.regs:
+                    self.registers.free(reg)
+            elif isinstance(instr, isa.Barrier):
+                pass
+            else:
+                raise ExecutionError(
+                    f"no functional semantics for {type(instr).__name__}")
+            self.stats.record(instr, extra)
+        return self.stats

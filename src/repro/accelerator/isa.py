@@ -1,0 +1,644 @@
+"""Instruction set of the CXL-PNM LLM inference accelerator.
+
+The accelerator (paper §V-C) extends the DFX ISA: DFX's adder-tree matrix
+function units handle GEMV (the gen stage), and six new instructions drive
+the added 64x32 FP16 PE array for GEMM (the sum stage):
+
+    MPU_MM_PEA, MPU_MM_REDUMAX_PEA, MPU_MASKEDMM_PEA,
+    MPU_MASKEDMM_REDUMAX_PEA, MPU_CONV2D_PEA, MPU_CONV2D_GELU_PEA
+
+Weight matrices and KV-cache operands are referenced by *device memory
+address* and streamed through the matrix units — they never stage in the
+63 MB register file (a 26 GB model would not fit).  Activations live in
+matrix/vector registers.  Each instruction reports:
+
+* ``reads()`` / ``writes()`` — register dependencies for the scheduler;
+* ``flops()`` — arithmetic work;
+* ``mem_elems()`` — device-memory elements streamed (the timing model
+  multiplies by the modelled datatype width);
+* ``unit`` — the execution resource it occupies.
+
+The functional executor (:mod:`repro.accelerator.engine`) gives every
+instruction exact numpy semantics; the timing simulator
+(:mod:`repro.perf.simulator`) schedules the same objects onto resources.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import IsaError
+
+
+class Unit(enum.Enum):
+    """Execution resources of the accelerator (Fig. 7)."""
+
+    DMA = "dma"
+    PE_ARRAY = "pe-array"      # GEMM datapath (the new PEA)
+    ADDER_TREE = "adder-tree"  # DFX GEMV datapath
+    VPU = "vpu"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base instruction; subclasses define operands and semantics."""
+
+    @property
+    def opcode(self) -> str:
+        return type(self).OPCODE  # type: ignore[attr-defined]
+
+    @property
+    def unit(self) -> Unit:
+        return type(self).UNIT  # type: ignore[attr-defined]
+
+    def reads(self) -> Tuple[str, ...]:
+        return ()
+
+    def writes(self) -> Tuple[str, ...]:
+        return ()
+
+    def flops(self) -> float:
+        return 0.0
+
+    def mem_elems(self) -> float:
+        """Device-memory elements streamed by this instruction."""
+        return 0.0
+
+
+# --------------------------------------------------------------------------
+# DMA engine
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DmaLoad(Instruction):
+    """Load a tensor from device memory into a register."""
+
+    OPCODE = "DMA_LOAD"
+    UNIT = Unit.DMA
+
+    dst: str
+    addr: int
+    shape: Tuple[int, ...]
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def mem_elems(self) -> float:
+        return float(_numel(self.shape))
+
+
+@dataclass(frozen=True)
+class DmaStore(Instruction):
+    """Store a register's tensor to device memory.
+
+    ``shape`` is advisory (the stored size is the register's runtime
+    shape); the compiler sets it so the timing simulator can charge the
+    transfer without executing.
+    """
+
+    OPCODE = "DMA_STORE"
+    UNIT = Unit.DMA
+
+    src: str
+    addr: int
+    shape: Optional[Tuple[int, ...]] = None
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def mem_elems(self) -> float:
+        return float(_numel(self.shape)) if self.shape else 0.0
+
+
+@dataclass(frozen=True)
+class DmaGather(Instruction):
+    """Gather rows of a 2-D table into a register (embedding lookup)."""
+
+    OPCODE = "DMA_GATHER"
+    UNIT = Unit.DMA
+
+    dst: str
+    table_addr: int
+    row_elems: int
+    indices: Tuple[int, ...]
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def mem_elems(self) -> float:
+        return float(len(self.indices) * self.row_elems)
+
+
+# --------------------------------------------------------------------------
+# Matrix processing unit — adder-tree (GEMV) path
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MpuMv(Instruction):
+    """Adder-tree GEMV: ``dst[1,n] = act[1,k] @ W[k,n]`` (W from memory)."""
+
+    OPCODE = "MPU_MV"
+    UNIT = Unit.ADDER_TREE
+
+    dst: str
+    act: str
+    weight_addr: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.n <= 0:
+            raise IsaError(f"{self.OPCODE}: bad dims k={self.k} n={self.n}")
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.act,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def flops(self) -> float:
+        return 2.0 * self.k * self.n
+
+    def mem_elems(self) -> float:
+        return float(self.k * self.n)
+
+
+# --------------------------------------------------------------------------
+# Matrix processing unit — PE-array (GEMM) path: the six new instructions
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MpuMmPea(Instruction):
+    """PE-array GEMM: ``dst[m,n] = act[m,k] @ W[k,n]`` (W from memory)."""
+
+    OPCODE = "MPU_MM_PEA"
+    UNIT = Unit.PE_ARRAY
+
+    dst: str
+    act: str
+    weight_addr: int
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise IsaError(f"{self.OPCODE}: bad dims "
+                           f"{self.m}x{self.k}x{self.n}")
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.act,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def flops(self) -> float:
+        return 2.0 * self.m * self.k * self.n
+
+    def mem_elems(self) -> float:
+        return float(self.k * self.n)
+
+
+@dataclass(frozen=True)
+class MpuMmRedumaxPea(MpuMmPea):
+    """GEMM fused with a row-wise running max (``rowmax_dst[m]``)."""
+
+    OPCODE = "MPU_MM_REDUMAX_PEA"
+
+    rowmax_dst: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.rowmax_dst:
+            raise IsaError(f"{self.OPCODE}: rowmax_dst required")
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst, self.rowmax_dst)
+
+
+@dataclass(frozen=True)
+class MpuMaskedMm(Instruction):
+    """Per-head masked attention scores, scaled.
+
+    ``q`` holds ``[m, heads*head_dim]``; K is an aggregated ``[ctx,
+    heads*head_dim]`` matrix in device memory at ``k_addr``.  The result is
+    ``dst[heads, m, ctx]`` with ``scores = (q_h @ K_h^T) * scale`` and
+    causal masking: row ``i`` may attend columns ``<= i + mask_offset``
+    (set ``mask_offset >= ctx - 1`` for the un-masked gen stage).
+
+    With ``m > 1`` this is the PE-array MPU_MASKEDMM_PEA /
+    MPU_MASKEDMM_REDUMAX_PEA; with ``m == 1`` it runs on the adder trees
+    (DFX's existing masked-MV path).  Setting ``rowmax_dst`` selects the
+    REDUMAX-fused variant, which feeds VPU_SOFTMAX without a second pass.
+    """
+
+    dst: str
+    q: str
+    k_addr: int
+    heads: int
+    head_dim: int
+    ctx: int
+    m: int
+    scale: float
+    mask_offset: int
+    rowmax_dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if min(self.heads, self.head_dim, self.ctx, self.m) <= 0:
+            raise IsaError("MPU_MASKEDMM: non-positive dimension")
+
+    @property
+    def opcode(self) -> str:
+        if self.m == 1:
+            return "MPU_MASKEDMV"
+        return ("MPU_MASKEDMM_REDUMAX_PEA" if self.rowmax_dst
+                else "MPU_MASKEDMM_PEA")
+
+    @property
+    def unit(self) -> Unit:
+        return Unit.PE_ARRAY if self.m > 1 else Unit.ADDER_TREE
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.q,)
+
+    def writes(self) -> Tuple[str, ...]:
+        if self.rowmax_dst:
+            return (self.dst, self.rowmax_dst)
+        return (self.dst,)
+
+    def flops(self) -> float:
+        return 2.0 * self.heads * self.m * self.ctx * self.head_dim
+
+    def mem_elems(self) -> float:
+        return float(self.ctx * self.heads * self.head_dim)
+
+
+@dataclass(frozen=True)
+class MpuAttnContext(Instruction):
+    """Per-head context: ``dst[m, heads*head_dim] = probs_h @ V_h``.
+
+    ``probs`` holds ``[heads, m, ctx]``; V is aggregated ``[ctx,
+    heads*head_dim]`` at ``v_addr``.  Unit selection mirrors
+    :class:`MpuMaskedMm`.
+    """
+
+    dst: str
+    probs: str
+    v_addr: int
+    heads: int
+    head_dim: int
+    ctx: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if min(self.heads, self.head_dim, self.ctx, self.m) <= 0:
+            raise IsaError("MPU_ATTN_CTX: non-positive dimension")
+
+    @property
+    def opcode(self) -> str:
+        return "MPU_MM_PEA" if self.m > 1 else "MPU_MV"
+
+    @property
+    def unit(self) -> Unit:
+        return Unit.PE_ARRAY if self.m > 1 else Unit.ADDER_TREE
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.probs,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def flops(self) -> float:
+        return 2.0 * self.heads * self.m * self.ctx * self.head_dim
+
+    def mem_elems(self) -> float:
+        return float(self.ctx * self.heads * self.head_dim)
+
+
+@dataclass(frozen=True)
+class MpuConv2d(Instruction):
+    """2-D convolution via im2col on the PE array (optionally fused GELU).
+
+    Input activations in ``act`` shaped ``[in_ch, h, w]``; weights at
+    ``weight_addr`` shaped ``[out_ch, in_ch, kh, kw]``; 'same'-style valid
+    convolution with the given stride, output ``[out_ch, oh, ow]``.
+    """
+
+    dst: str
+    act: str
+    weight_addr: int
+    in_ch: int
+    out_ch: int
+    kh: int
+    kw: int
+    h: int
+    w: int
+    stride: int = 1
+    gelu: bool = False
+
+    UNIT = Unit.PE_ARRAY
+
+    def __post_init__(self) -> None:
+        if min(self.in_ch, self.out_ch, self.kh, self.kw, self.h, self.w,
+               self.stride) <= 0:
+            raise IsaError("MPU_CONV2D: non-positive dimension")
+        if self.kh > self.h or self.kw > self.w:
+            raise IsaError("MPU_CONV2D: kernel larger than input")
+
+    @property
+    def opcode(self) -> str:
+        return "MPU_CONV2D_GELU_PEA" if self.gelu else "MPU_CONV2D_PEA"
+
+    @property
+    def out_hw(self) -> Tuple[int, int]:
+        oh = (self.h - self.kh) // self.stride + 1
+        ow = (self.w - self.kw) // self.stride + 1
+        return oh, ow
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.act,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def flops(self) -> float:
+        oh, ow = self.out_hw
+        return 2.0 * self.out_ch * oh * ow * self.in_ch * self.kh * self.kw
+
+    def mem_elems(self) -> float:
+        return float(self.out_ch * self.in_ch * self.kh * self.kw)
+
+
+@dataclass(frozen=True)
+class MpuTranspose(Instruction):
+    """Matrix-manipulation unit: ``dst = src.T``."""
+
+    OPCODE = "MPU_TRANSPOSE"
+    UNIT = Unit.PE_ARRAY
+
+    dst: str
+    src: str
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+# --------------------------------------------------------------------------
+# Vector processing unit
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VpuBinary(Instruction):
+    """Elementwise binary op between two registers."""
+
+    UNIT = Unit.VPU
+
+    dst: str
+    a: str
+    b: str
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class VpuAdd(VpuBinary):
+    OPCODE = "VPU_ADD"
+
+
+@dataclass(frozen=True)
+class VpuMul(VpuBinary):
+    OPCODE = "VPU_MUL"
+
+
+@dataclass(frozen=True)
+class VpuScale(Instruction):
+    """``dst = src * constant``."""
+
+    OPCODE = "VPU_SCALE"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+    constant: float
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class VpuBias(Instruction):
+    """``dst = src + bias`` with the bias vector streamed from memory."""
+
+    OPCODE = "VPU_BIAS"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+    bias_addr: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise IsaError("VPU_BIAS: bias length must be positive")
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def mem_elems(self) -> float:
+        return float(self.n)
+
+
+@dataclass(frozen=True)
+class VpuGelu(Instruction):
+    """Tanh-approximated GELU."""
+
+    OPCODE = "VPU_GELU"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class VpuSoftmax(Instruction):
+    """Numerically stable row-wise softmax over the last axis.
+
+    ``rowmax`` optionally names a register holding precomputed row maxima
+    from a REDUMAX-fused matmul, saving the max pass.
+    """
+
+    OPCODE = "VPU_SOFTMAX"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+    rowmax: Optional[str] = None
+
+    def reads(self) -> Tuple[str, ...]:
+        if self.rowmax:
+            return (self.src, self.rowmax)
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class VpuLayerNorm(Instruction):
+    """LayerNorm over the last axis with gamma/beta streamed from memory."""
+
+    OPCODE = "VPU_LAYERNORM"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+    gamma_addr: int
+    beta_addr: int
+    n: int
+    eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise IsaError("VPU_LAYERNORM: width must be positive")
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def mem_elems(self) -> float:
+        return float(2 * self.n)
+
+
+@dataclass(frozen=True)
+class VpuArgmax(Instruction):
+    """``dst (scalar reg) = argmax(src last row)`` — greedy sampling."""
+
+    OPCODE = "VPU_ARGMAX"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class VpuRow(Instruction):
+    """``dst = src[row:row+1]`` — extract one row (negative = from end)."""
+
+    OPCODE = "VPU_ROW"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+    row: int
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class VpuSlice(Instruction):
+    """``dst = src[:, start:stop]`` — column slice (QKV split)."""
+
+    OPCODE = "VPU_SLICE"
+    UNIT = Unit.VPU
+
+    dst: str
+    src: str
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise IsaError(f"VPU_SLICE: bad range [{self.start},{self.stop})")
+
+    def reads(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+    def writes(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+# --------------------------------------------------------------------------
+# Control
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Free(Instruction):
+    """Release dead registers back to the register-file manager."""
+
+    OPCODE = "FREE"
+    UNIT = Unit.CONTROL
+
+    regs: Tuple[str, ...]
+
+    def reads(self) -> Tuple[str, ...]:
+        return self.regs
+
+
+@dataclass(frozen=True)
+class Barrier(Instruction):
+    """Full pipeline barrier: all prior instructions complete first."""
+
+    OPCODE = "BARRIER"
+    UNIT = Unit.CONTROL
+
+
+def _numel(shape: Tuple[int, ...]) -> int:
+    n = 1
+    for dim in shape:
+        if dim <= 0:
+            raise IsaError(f"non-positive dimension in shape {shape}")
+        n *= dim
+    return n
+
+
+Program = Tuple[Instruction, ...]
+
+
+def validate_program(program) -> None:
+    """Static checks: registers written before read, types correct."""
+    written = set()
+    for idx, instr in enumerate(program):
+        if not isinstance(instr, Instruction):
+            raise IsaError(f"program[{idx}] is not an Instruction: {instr!r}")
+        for reg in instr.reads():
+            if reg not in written and not isinstance(instr, Free):
+                raise IsaError(
+                    f"program[{idx}] {instr.opcode} reads {reg} before any "
+                    f"write")
+        written.update(instr.writes())
+        if isinstance(instr, Free):
+            written.difference_update(instr.regs)

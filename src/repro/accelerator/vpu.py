@@ -1,0 +1,68 @@
+"""Vector-processing-unit timing model.
+
+The VPU executes the non-matmul layer functions: LayerNorm, Softmax, GELU,
+bias/residual adds, and data movement between register-file views.  Its
+datapath width follows Table II's 16,384-bit SRAM interface: 1,024 FP16
+lanes at 1 GHz.  Multi-pass operators (LayerNorm needs mean, variance, and
+normalize passes; Softmax needs max, exp-sum, and divide) cost
+proportionally more cycles per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator import isa
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class VpuTiming:
+    """Cycle model for VPU instructions.
+
+    Attributes:
+        lanes: FP16 lanes processed per cycle.
+        issue_cycles: Fixed instruction issue/drain cost.
+    """
+
+    lanes: int = 1024
+    issue_cycles: int = 32
+
+    #: Effective passes over the data per operator class.
+    PASSES = {
+        "VPU_ADD": 1.0,
+        "VPU_MUL": 1.0,
+        "VPU_SCALE": 1.0,
+        "VPU_BIAS": 1.0,
+        "VPU_GELU": 2.0,
+        "VPU_SOFTMAX": 3.0,
+        "VPU_LAYERNORM": 3.0,
+        "VPU_ARGMAX": 1.0,
+        "VPU_SLICE": 1.0,
+        "VPU_ROW": 0.25,
+    }
+
+    def cycles_for_elements(self, opcode: str, elements: float) -> int:
+        try:
+            passes = self.PASSES[opcode]
+        except KeyError:
+            raise SimulationError(f"{opcode} is not a VPU instruction")
+        return self.issue_cycles + int(
+            np.ceil(passes * elements / self.lanes))
+
+    def cycles(self, instr: isa.Instruction, out_elements: float) -> int:
+        """Cycles given the instruction's output element count.
+
+        The scheduler supplies ``out_elements`` because VPU operand sizes
+        are register shapes known only from the dataflow (the compiler
+        records them for the simulator).
+        """
+        opcode = instr.opcode
+        if opcode == "VPU_SOFTMAX" and isinstance(instr, isa.VpuSoftmax) \
+                and instr.rowmax:
+            # REDUMAX fusion removed the max pass.
+            return self.issue_cycles + int(
+                np.ceil(2.0 * out_elements / self.lanes))
+        return self.cycles_for_elements(opcode, out_elements)

@@ -1,0 +1,36 @@
+"""Multi-device appliances: parallelism plans, comm models, clusters."""
+
+from repro.appliance.cluster import (
+    GpuAppliance,
+    PnmAppliance,
+    devices_required,
+)
+from repro.appliance.pipeline import PipelinePlan
+from repro.appliance.scheduler import (
+    RequestScheduler,
+    ServiceStats,
+    poisson_arrivals,
+    timer_service,
+)
+from repro.appliance.comm import CxlCommModel, GpuCommModel
+from repro.appliance.parallelism import (
+    ParallelismPlan,
+    feasible_plans,
+    params_per_device,
+)
+
+__all__ = [
+    "PipelinePlan",
+    "RequestScheduler",
+    "ServiceStats",
+    "poisson_arrivals",
+    "timer_service",
+    "CxlCommModel",
+    "GpuAppliance",
+    "GpuCommModel",
+    "ParallelismPlan",
+    "PnmAppliance",
+    "devices_required",
+    "feasible_plans",
+    "params_per_device",
+]

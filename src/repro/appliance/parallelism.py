@@ -1,0 +1,100 @@
+"""Parallelism plans for multi-device appliances.
+
+The paper's appliance experiments (§VIII-A, Fig. 11) sweep how eight
+devices are split between **data parallelism** (independent model
+instances, each serving its own request stream) and **model parallelism**
+(tensor-parallel groups splitting each layer).  A
+:class:`ParallelismPlan` captures one point of that trade-off and
+validates it against the model and the devices' memory capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParallelismError
+from repro.llm.config import LLMConfig
+
+
+@dataclass(frozen=True)
+class ParallelismPlan:
+    """How an appliance's devices serve a model.
+
+    Attributes:
+        data_parallel: Concurrent model instances (``DP``).
+        tensor_parallel: Devices per instance splitting each layer
+            (``MP`` in the paper's wording).
+    """
+
+    data_parallel: int
+    tensor_parallel: int
+
+    def __post_init__(self) -> None:
+        if self.data_parallel < 1 or self.tensor_parallel < 1:
+            raise ParallelismError("parallel degrees must be >= 1")
+
+    @property
+    def num_devices(self) -> int:
+        return self.data_parallel * self.tensor_parallel
+
+    @property
+    def label(self) -> str:
+        return f"DP={self.data_parallel} x MP={self.tensor_parallel}"
+
+    def validate_for(self, config: LLMConfig, num_devices: int,
+                     device_memory_bytes: int,
+                     kv_reserve_bytes: int = 0) -> None:
+        """Check the plan fits the appliance and the model.
+
+        ``kv_reserve_bytes`` reserves per-device memory for the KV cache
+        and activations on top of the partitioned parameters.
+        """
+        if self.num_devices != num_devices:
+            raise ParallelismError(
+                f"{self.label} needs {self.num_devices} devices, appliance "
+                f"has {num_devices}")
+        if config.num_heads % self.tensor_parallel:
+            raise ParallelismError(
+                f"{config.name}: {config.num_heads} heads not divisible "
+                f"by MP={self.tensor_parallel}")
+        if config.d_ff % self.tensor_parallel:
+            raise ParallelismError(
+                f"{config.name}: d_ff={config.d_ff} not divisible by "
+                f"MP={self.tensor_parallel}")
+        per_device = params_per_device(config, self.tensor_parallel)
+        if per_device + kv_reserve_bytes > device_memory_bytes:
+            raise ParallelismError(
+                f"{config.name} with {self.label}: {per_device / 1e9:.1f} GB"
+                f" + {kv_reserve_bytes / 1e9:.1f} GB reserve exceeds device "
+                f"memory {device_memory_bytes / 1e9:.1f} GB")
+
+
+def params_per_device(config: LLMConfig, tensor_parallel: int) -> int:
+    """Parameter bytes resident per device under tensor parallelism.
+
+    Layer weights split evenly; embeddings and the final LayerNorm are
+    replicated on every device of the group (FasterTransformer's layout).
+    """
+    if tensor_parallel < 1:
+        raise ParallelismError("tensor_parallel must be >= 1")
+    layer_bytes = config.num_layers * config.layer_param_bytes
+    replicated = (config.embedding_params + 2 * config.d_model) \
+        * config.dtype_bytes
+    return layer_bytes // tensor_parallel + replicated
+
+
+def feasible_plans(config: LLMConfig, num_devices: int,
+                   device_memory_bytes: int) -> list:
+    """All DP x MP splits of ``num_devices`` that fit the model."""
+    plans = []
+    for tp in range(1, num_devices + 1):
+        if num_devices % tp:
+            continue
+        plan = ParallelismPlan(data_parallel=num_devices // tp,
+                               tensor_parallel=tp)
+        try:
+            plan.validate_for(config, num_devices, device_memory_bytes)
+        except ParallelismError:
+            continue
+        plans.append(plan)
+    return plans

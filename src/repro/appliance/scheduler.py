@@ -1,0 +1,151 @@
+"""Request-level service scheduler over an appliance.
+
+Turns the per-request performance models into service-level numbers: a
+discrete-event simulation of a request queue feeding the appliance's
+model instances, with optional batched generation.  Reports the latency
+distribution (mean/p50/p95), sustained throughput, and instance
+utilization — the quantities a capacity planner would actually read off
+a CXL-PNM vs GPU decision.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.llm.config import LLMConfig
+from repro.llm.workload import InferenceRequest
+from repro.perf.analytical import DevicePerfModel, InferenceTimer
+
+#: Seconds to serve one request: (request) -> latency.
+ServiceModel = Callable[[InferenceRequest], float]
+
+
+def timer_service(config: LLMConfig, model: DevicePerfModel,
+                  tensor_parallel: int = 1) -> ServiceModel:
+    """Service model backed by the analytical inference timer."""
+    timer = InferenceTimer(config, model, tensor_parallel=tensor_parallel)
+
+    def _serve(request: InferenceRequest) -> float:
+        return timer.run(request.input_len, request.output_len).latency_s
+
+    return _serve
+
+
+@dataclass
+class CompletedRequest:
+    """One served request with its timeline."""
+
+    request: InferenceRequest
+    arrival_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate statistics of one scheduler run."""
+
+    completed: List[CompletedRequest]
+    makespan_s: float
+    num_instances: int
+
+    def _latencies(self) -> np.ndarray:
+        return np.array([c.total_latency_s for c in self.completed])
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(self._latencies().mean())
+
+    @property
+    def p50_latency_s(self) -> float:
+        return float(np.percentile(self._latencies(), 50))
+
+    @property
+    def p95_latency_s(self) -> float:
+        return float(np.percentile(self._latencies(), 95))
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        return float(np.mean([c.queue_wait_s for c in self.completed]))
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        tokens = sum(c.request.output_len for c in self.completed)
+        return tokens / self.makespan_s if self.makespan_s else 0.0
+
+    @property
+    def instance_utilization(self) -> float:
+        busy = sum(c.finish_s - c.start_s for c in self.completed)
+        return busy / (self.makespan_s * self.num_instances) \
+            if self.makespan_s else 0.0
+
+
+@dataclass
+class RequestScheduler:
+    """FCFS scheduler dispatching requests onto N model instances.
+
+    Attributes:
+        service: Per-request latency model (one instance, exclusive).
+        num_instances: Concurrent model instances (the appliance's DP).
+    """
+
+    service: ServiceModel
+    num_instances: int
+
+    def __post_init__(self) -> None:
+        if self.num_instances < 1:
+            raise ConfigurationError("need at least one instance")
+
+    def run(self, requests: Sequence[InferenceRequest],
+            arrival_times: Optional[Sequence[float]] = None) -> ServiceStats:
+        """Serve ``requests`` in arrival order; returns the statistics.
+
+        ``arrival_times`` defaults to all-at-once (a closed batch); pass
+        Poisson arrivals from :func:`poisson_arrivals` for open-loop load.
+        """
+        if not requests:
+            raise ConfigurationError("no requests to schedule")
+        if arrival_times is None:
+            arrival_times = [0.0] * len(requests)
+        if len(arrival_times) != len(requests):
+            raise ConfigurationError(
+                "arrival_times must match requests in length")
+        # Instance availability as a min-heap of free times.
+        free_at = [0.0] * self.num_instances
+        heapq.heapify(free_at)
+        completed: List[CompletedRequest] = []
+        for request, arrival in sorted(zip(requests, arrival_times),
+                                       key=lambda p: p[1]):
+            instance_free = heapq.heappop(free_at)
+            start = max(arrival, instance_free)
+            finish = start + self.service(request)
+            heapq.heappush(free_at, finish)
+            completed.append(CompletedRequest(
+                request=request, arrival_s=arrival, start_s=start,
+                finish_s=finish))
+        makespan = max(c.finish_s for c in completed)
+        return ServiceStats(completed=completed, makespan_s=makespan,
+                            num_instances=self.num_instances)
+
+
+def poisson_arrivals(num_requests: int, rate_per_s: float,
+                     seed: int = 0) -> List[float]:
+    """Cumulative Poisson arrival times at ``rate_per_s``."""
+    if num_requests <= 0 or rate_per_s <= 0:
+        raise ConfigurationError("need positive request count and rate")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_s, size=num_requests)
+    return list(np.cumsum(gaps))

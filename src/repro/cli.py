@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — list the reproduction harnesses.
+* ``run <id> [...]`` — run experiments and print their tables
+  (``--export DIR`` also writes JSON/CSV).
+* ``models`` — the LLM zoo with capacity/bandwidth footprints.
+* ``platform`` — the CXL-PNM platform summary (Tables I/II headline).
+* ``estimate <model> [--in N] [--out N]`` — single-device latency/energy
+  for a zoo model on CXL-PNM and an A100.
+* ``isa`` — the accelerator's generated ISA reference.
+* ``roofline <model>`` — roofline placement of a zoo model's stages on
+  CXL-PNM and the A100.
+* ``generate [--layers N ...]`` — run a miniature model functionally
+  through the full simulated stack and print the tokens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import CxlPnmPlatform
+from repro.errors import ReproError
+from repro.gpu import A100_40G
+from repro.llm import MODEL_ZOO, get_model, random_weights, tiny_config
+from repro.perf.analytical import GpuPerfModel, InferenceTimer
+from repro.units import GiB, TB
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+    for key in EXPERIMENTS:
+        print(key)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    ids = args.ids or list(EXPERIMENTS)
+    results = [run_experiment(eid) for eid in ids]
+    for result in results:
+        print(result.render())
+        print()
+    if args.export:
+        from repro.experiments.export import export_all
+        written = export_all(results, args.export)
+        print(f"exported {len(written)} files to {args.export}")
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    print(f"{'model':<22} {'params':>9} {'FP16 GiB':>9} "
+          f"{'bw@200ms TB/s':>14}")
+    for name, config in sorted(MODEL_ZOO.items(),
+                               key=lambda kv: kv[1].num_params):
+        from repro.experiments.fig02_capacity_bandwidth import (
+            required_bandwidth,
+        )
+        ctx = min(2048, config.max_seq_len)
+        print(f"{name:<22} {config.num_params / 1e9:8.1f}B "
+              f"{config.param_bytes / GiB:9.1f} "
+              f"{required_bandwidth(config, ctx) / TB:14.3f}")
+    return 0
+
+
+def _cmd_platform(_args) -> int:
+    report = CxlPnmPlatform().report()
+    for key, value in report.as_dict().items():
+        print(f"{key:<28} {value:.3f}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    config = get_model(args.model)
+    platform = CxlPnmPlatform()
+    rows = []
+    if platform.fits(config):
+        rows.append(platform.estimate(config, args.input_tokens,
+                                      args.output_tokens))
+    else:
+        print(f"note: {config.name} exceeds one 512 GB module; "
+              "CXL-PNM row omitted")
+    rows.append(InferenceTimer(config, GpuPerfModel(A100_40G)).run(
+        args.input_tokens, args.output_tokens))
+    print(f"{config.name}, {args.input_tokens} in / "
+          f"{args.output_tokens} out:")
+    for result in rows:
+        print(f"  {result.device_name:>10}: {result.latency_s:8.2f} s  "
+              f"{result.tokens_per_s:7.2f} tok/s  "
+              f"{result.mean_power_w:6.1f} W  "
+              f"{result.tokens_per_joule:.4f} tok/J")
+    return 0
+
+
+def _cmd_isa(_args) -> int:
+    from repro.accelerator.isa_reference import render_isa_reference
+    print(render_isa_reference())
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from repro.accelerator import CXLPNMDevice
+    from repro.experiments.report import text_table
+    from repro.perf.analytical import PnmPerfModel
+    from repro.perf.roofline import roofline_report
+    config = get_model(args.model)
+    models = [PnmPerfModel(CXLPNMDevice()), GpuPerfModel(A100_40G)]
+    print(text_table(roofline_report(config, models,
+                                     context_len=args.context)))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    config = tiny_config(num_layers=args.layers, d_model=args.d_model,
+                         num_heads=args.heads)
+    platform = CxlPnmPlatform()
+    session = platform.session(weights=random_weights(config,
+                                                      seed=args.seed))
+    trace = session.generate(args.prompt, args.num_tokens)
+    print(f"prompt {args.prompt} -> {trace.tokens}")
+    print(f"{trace.instructions} instructions, device time "
+          f"{trace.total_time_s * 1e6:.1f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CXL-PNM platform reproduction (HPCA 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments",
+                   help="list experiment ids").set_defaults(
+        func=_cmd_experiments)
+
+    run = sub.add_parser("run", help="run experiments and print tables")
+    run.add_argument("ids", nargs="*",
+                     help="experiment ids (default: all)")
+    run.add_argument("--export", default=None,
+                     help="directory for JSON/CSV exports")
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("models",
+                   help="list the LLM zoo").set_defaults(func=_cmd_models)
+    sub.add_parser("platform",
+                   help="CXL-PNM platform summary").set_defaults(
+        func=_cmd_platform)
+
+    estimate = sub.add_parser("estimate",
+                              help="model a zoo LLM on both devices")
+    estimate.add_argument("model")
+    estimate.add_argument("--in", dest="input_tokens", type=int, default=64)
+    estimate.add_argument("--out", dest="output_tokens", type=int,
+                          default=1024)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    sub.add_parser("isa", help="accelerator ISA reference").set_defaults(
+        func=_cmd_isa)
+
+    roofline = sub.add_parser("roofline",
+                              help="roofline placement of a zoo model")
+    roofline.add_argument("model")
+    roofline.add_argument("--context", type=int, default=576)
+    roofline.set_defaults(func=_cmd_roofline)
+
+    generate = sub.add_parser("generate",
+                              help="functional generation on a tiny model")
+    generate.add_argument("--layers", type=int, default=2)
+    generate.add_argument("--d-model", type=int, default=64)
+    generate.add_argument("--heads", type=int, default=4)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--num-tokens", type=int, default=8)
+    generate.add_argument("--prompt", type=int, nargs="+",
+                          default=[1, 2, 3])
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

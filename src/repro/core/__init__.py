@@ -1,0 +1,13 @@
+"""The paper's primary contribution, as one coherent API.
+
+``repro.core`` is the front door: :class:`CxlPnmPlatform` composes the
+LPDDR5X CXL memory module (§IV), the CXL-PNM controller + LLM accelerator
+(§V), and the software stack (§VI) into the platform the paper describes,
+with both a *functional* face (generate real tokens on the simulated
+device) and a *modelled-performance* face (latency/throughput/energy of
+the 7 nm ASIC target).
+"""
+
+from repro.core.platform import CxlPnmPlatform, PlatformReport
+
+__all__ = ["CxlPnmPlatform", "PlatformReport"]

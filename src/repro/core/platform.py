@@ -1,0 +1,120 @@
+"""The CXL-PNM platform facade.
+
+Ties the substrates into the deliverable the paper ships: a drop-in
+acceleration platform for Python LLM inference.  A platform object owns
+one modelled device; ``session`` opens a functional inference session for
+a (small) model, ``estimate`` prices a (large) model's inference on the
+ASIC target, and ``report`` summarizes the platform the way Tables I/II
+describe it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.accelerator.device import CXLPNMDevice
+from repro.appliance.cluster import PnmAppliance
+from repro.appliance.parallelism import ParallelismPlan
+from repro.errors import CapacityError
+from repro.llm.config import LLMConfig
+from repro.llm.reference import ModelWeights, random_weights
+from repro.perf.analytical import InferenceTimer, PnmPerfModel
+from repro.perf.metrics import ApplianceResult, InferenceResult
+from repro.runtime.session import InferenceSession
+
+
+@dataclass(frozen=True)
+class PlatformReport:
+    """Summary of the platform's capacity, bandwidth, and power."""
+
+    memory_capacity_gb: float
+    peak_bandwidth_tb_s: float
+    effective_bandwidth_tb_s: float
+    peak_gemm_tflops: float
+    peak_gemv_tflops: float
+    platform_max_watts: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "memory_capacity_gb": self.memory_capacity_gb,
+            "peak_bandwidth_tb_s": self.peak_bandwidth_tb_s,
+            "effective_bandwidth_tb_s": self.effective_bandwidth_tb_s,
+            "peak_gemm_tflops": self.peak_gemm_tflops,
+            "peak_gemv_tflops": self.peak_gemv_tflops,
+            "platform_max_watts": self.platform_max_watts,
+        }
+
+
+@dataclass
+class CxlPnmPlatform:
+    """One CXL-PNM device, usable functionally and analytically."""
+
+    device: CXLPNMDevice = field(default_factory=CXLPNMDevice)
+
+    def report(self) -> PlatformReport:
+        spec = self.device.spec
+        return PlatformReport(
+            memory_capacity_gb=self.device.memory_capacity / 1e9,
+            peak_bandwidth_tb_s=self.device.peak_memory_bandwidth / 1e12,
+            effective_bandwidth_tb_s=(
+                self.device.effective_memory_bandwidth / 1e12),
+            peak_gemm_tflops=spec.peak_gemm_flops / 1e12,
+            peak_gemv_tflops=spec.peak_gemv_flops / 1e12,
+            platform_max_watts=spec.platform_max_watts,
+        )
+
+    def fits(self, config: LLMConfig) -> bool:
+        """Whether a model's FP16 parameters fit in device memory."""
+        return config.param_bytes <= self.device.memory_capacity
+
+    def session(self, weights: Optional[ModelWeights] = None,
+                config: Optional[LLMConfig] = None,
+                seed: int = 0) -> InferenceSession:
+        """Open a functional inference session (small models only).
+
+        Pass trained ``weights``, or a ``config`` to initialize random
+        parameters — the paper's platform loads real checkpoints; the
+        reproduction's functional path targets miniature models.
+        """
+        if weights is None:
+            if config is None:
+                raise CapacityError("session needs weights or a config")
+            weights = random_weights(config, seed=seed)
+        return InferenceSession(weights, device=self.device)
+
+    def tensor_parallel_session(self, weights: Optional[ModelWeights] = None,
+                                config: Optional[LLMConfig] = None,
+                                degree: int = 2, seed: int = 0):
+        """Open a functional multi-device session (host-orchestrated TP).
+
+        Shards the model across ``degree`` simulated devices; generation
+        is token-exact with the single-device reference (§V-C made
+        functional).
+        """
+        from repro.runtime.tensor_parallel import TensorParallelSession
+        if weights is None:
+            if config is None:
+                raise CapacityError(
+                    "tensor_parallel_session needs weights or a config")
+            weights = random_weights(config, seed=seed)
+        return TensorParallelSession(weights, degree=degree)
+
+    def estimate(self, config: LLMConfig, input_len: int, output_len: int
+                 ) -> InferenceResult:
+        """Modelled single-device latency/energy on the ASIC target."""
+        if not self.fits(config):
+            raise CapacityError(
+                f"{config.name} ({config.param_bytes / 1e9:.0f} GB) exceeds "
+                f"the {self.device.memory_capacity / 1e9:.0f} GB module")
+        timer = InferenceTimer(config=config,
+                               model=PnmPerfModel(self.device))
+        return timer.run(input_len, output_len)
+
+    def estimate_appliance(self, config: LLMConfig, plan: ParallelismPlan,
+                           input_len: int, output_len: int,
+                           num_devices: int = 8) -> ApplianceResult:
+        """Modelled appliance behaviour under a DP x MP plan."""
+        appliance = PnmAppliance(device=self.device,
+                                 num_devices=num_devices)
+        return appliance.run(config, plan, input_len, output_len)

@@ -1,0 +1,106 @@
+"""CXL Type-3 device model: HDM decoder, register space, request routing.
+
+A Type-3 (memory expansion) device exposes its DRAM to the host as
+host-managed device memory (HDM) — one contiguous physical range the host
+maps as a CPU-less NUMA node.  The CXL-PNM controller additionally exposes
+a CXL.io register region used by the driver to configure, program, and
+control the accelerator (paper Fig. 6, §VI).
+
+This model performs the address decode both the runtime stack and the
+topology model rely on: HDM range checks, translation to module-local
+addresses, and routing of module-local addresses across LPDDR channels via
+the controller's local interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.cxl.link import CXLLink, GEN5_X16
+from repro.errors import AddressError
+from repro.memory.interleave import MODULE_LOCAL_INTERLEAVE, InterleaveScheme
+from repro.memory.module import MemoryModule, lpddr5x_module
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class RegisterRegion:
+    """The device's CXL.io-mapped register window."""
+
+    base: int
+    size: int = 16 * MiB
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def offset_of(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise AddressError(
+                f"address {addr:#x} outside register region "
+                f"[{self.base:#x}, {self.base + self.size:#x})")
+        return addr - self.base
+
+
+@dataclass(frozen=True)
+class CXLType3Device:
+    """One CXL memory-expansion device with an optional PNM personality.
+
+    Attributes:
+        device_id: Position in the topology (NUMA node ordering).
+        module: The DRAM module behind the controller.
+        hdm_base: Host physical address where the HDM range is mapped.
+        link: The CXL port connecting the device to the host.
+        interleave: Controller-local interleaving across LPDDR channels.
+    """
+
+    device_id: int
+    module: MemoryModule = field(default_factory=lpddr5x_module)
+    hdm_base: int = 0
+    link: CXLLink = GEN5_X16
+    interleave: InterleaveScheme = MODULE_LOCAL_INTERLEAVE
+
+    @property
+    def hdm_size(self) -> int:
+        return self.module.capacity_bytes
+
+    @property
+    def hdm_end(self) -> int:
+        return self.hdm_base + self.hdm_size
+
+    @property
+    def register_region(self) -> RegisterRegion:
+        """CXL.io registers sit immediately above the HDM range."""
+        return RegisterRegion(base=self.hdm_end)
+
+    def contains(self, addr: int) -> bool:
+        """Whether a host physical address decodes to this device's HDM."""
+        return self.hdm_base <= addr < self.hdm_end
+
+    def to_local(self, host_addr: int) -> int:
+        """Translate a host physical address to a module-local address."""
+        if not self.contains(host_addr):
+            raise AddressError(
+                f"host address {host_addr:#x} outside device {self.device_id}"
+                f" HDM [{self.hdm_base:#x}, {self.hdm_end:#x})")
+        return host_addr - self.hdm_base
+
+    def to_host(self, local_addr: int) -> int:
+        """Translate a module-local address to the host physical address."""
+        if not 0 <= local_addr < self.hdm_size:
+            raise AddressError(
+                f"local address {local_addr:#x} outside module of "
+                f"{self.hdm_size:#x} bytes")
+        return self.hdm_base + local_addr
+
+    def route(self, local_addr: int) -> Tuple[int, int]:
+        """Map a module-local address to (LPDDR channel, channel offset).
+
+        This is the controller-local interleaving that lets the PNM
+        accelerator stream a contiguous region at full module bandwidth
+        while the host sees one flat range — the resolution of (D4).
+        """
+        if not 0 <= local_addr < self.hdm_size:
+            raise AddressError(f"local address {local_addr:#x} out of range")
+        return (self.interleave.channel_of(local_addr),
+                self.interleave.local_offset(local_addr))

@@ -1,0 +1,104 @@
+"""Host + multi-device CXL topology: one unified physical address space.
+
+Multiple CXL devices and the host DRAM form a single system address map,
+each device appearing as a NUMA node (paper §V-A, §V-C).  This is what
+lets the host CPU orchestrate device-to-device transfers with the DMA
+engines instead of a dedicated inter-device router: any device's DMA can
+target any other device's HDM range through the unified map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cxl.device import CXLType3Device
+from repro.cxl.link import CXLLink, GEN5_X16
+from repro.errors import AddressError, ConfigurationError
+from repro.memory.module import MemoryModule, lpddr5x_module
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class CXLTopology:
+    """The system address map: host DRAM followed by N device HDM ranges.
+
+    Attributes:
+        host_dram_bytes: Capacity of the host's local DRAM (NUMA node 0).
+        devices: CXL devices in NUMA-node order (nodes 1..N).
+    """
+
+    host_dram_bytes: int
+    devices: Tuple[CXLType3Device, ...]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_device_capacity(self) -> int:
+        return sum(d.hdm_size for d in self.devices)
+
+    @property
+    def total_capacity(self) -> int:
+        return self.host_dram_bytes + self.total_device_capacity
+
+    def device_of(self, addr: int) -> Optional[CXLType3Device]:
+        """The device owning a host physical address, or None for host DRAM."""
+        if addr < 0:
+            raise AddressError(f"negative address {addr:#x}")
+        if addr < self.host_dram_bytes:
+            return None
+        for device in self.devices:
+            if device.contains(addr):
+                return device
+        raise AddressError(f"address {addr:#x} unmapped in topology")
+
+    def numa_node_of(self, addr: int) -> int:
+        """NUMA node index of an address (0 = host)."""
+        device = self.device_of(addr)
+        return 0 if device is None else device.device_id + 1
+
+    def transfer_hops(self, src_addr: int, dst_addr: int) -> int:
+        """CXL link traversals for a DMA between two addresses.
+
+        Same node: 0; host<->device: 1; device<->device through the host
+        root complex: 2 (the paper's host-orchestrated model, §V-C).
+        """
+        src = self.device_of(src_addr)
+        dst = self.device_of(dst_addr)
+        if src is dst:
+            return 0
+        if src is None or dst is None:
+            return 1
+        return 2
+
+    def d2d_transfer_time(self, num_bytes: float, link: CXLLink = GEN5_X16
+                          ) -> float:
+        """Seconds for one host-orchestrated device-to-device transfer."""
+        if num_bytes < 0:
+            raise ConfigurationError("negative transfer size")
+        if num_bytes == 0:
+            return 0.0
+        # Two link traversals; streams are pipelined so bandwidth is paid
+        # once per hop and latency once per hop.
+        per_hop = link.read_latency_s + num_bytes / link.effective_bandwidth
+        return 2 * per_hop
+
+
+def build_topology(num_devices: int,
+                   host_dram_bytes: int = 512 * GiB,
+                   module_factory=lpddr5x_module) -> CXLTopology:
+    """Stack ``num_devices`` CXL-PNM devices after host DRAM in the map."""
+    if num_devices <= 0:
+        raise ConfigurationError("topology needs at least one device")
+    devices: List[CXLType3Device] = []
+    base = host_dram_bytes
+    for i in range(num_devices):
+        module: MemoryModule = module_factory()
+        device = CXLType3Device(device_id=i, module=module, hdm_base=base)
+        devices.append(device)
+        # Leave room for the register region between devices.
+        base = device.register_region.base + device.register_region.size
+    return CXLTopology(host_dram_bytes=host_dram_bytes,
+                       devices=tuple(devices))

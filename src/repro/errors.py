@@ -1,0 +1,57 @@
+"""Exception hierarchy for the CXL-PNM reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses are grouped by
+subsystem and carry enough context in the message to be actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A model, device, or appliance was configured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A model or buffer does not fit in the targeted memory or register file."""
+
+
+class FormFactorError(ReproError):
+    """A memory-module composition violates a form-factor constraint."""
+
+
+class AddressError(ReproError):
+    """An address is outside a device's mapped range or is misaligned."""
+
+
+class AllocationError(ReproError):
+    """A device-memory or register-file allocation could not be satisfied."""
+
+
+class ProtocolError(ReproError):
+    """A CXL transaction violates the protocol model (bad opcode, size, tag)."""
+
+
+class IsaError(ReproError):
+    """An instruction is malformed or uses operands inconsistently."""
+
+
+class ExecutionError(ReproError):
+    """The functional executor hit an invalid runtime state."""
+
+
+class DriverError(ReproError):
+    """The simulated device driver was used incorrectly (bad register,
+    unprogrammed instruction buffer, completion queried before launch)."""
+
+
+class ParallelismError(ReproError):
+    """A parallelism plan is inconsistent with the model or appliance."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent schedule."""

@@ -1,0 +1,17 @@
+"""Reproduction harnesses for every table and figure in the paper."""
+
+from repro.experiments.report import ExperimentResult, text_table
+
+__all__ = ["ExperimentResult", "run_all", "run_experiment", "text_table"]
+
+
+def run_experiment(experiment_id: str):
+    """Run one experiment by id (lazy import to avoid heavy startup)."""
+    from repro.experiments.registry import run_experiment as _run
+    return _run(experiment_id)
+
+
+def run_all():
+    """Run every experiment in paper order."""
+    from repro.experiments.registry import run_all as _run_all
+    return _run_all()

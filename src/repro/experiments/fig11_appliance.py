@@ -1,0 +1,92 @@
+"""Fig. 11: 8-GPU appliance vs 8-device CXL-PNM appliance on OPT-66B.
+
+The GPU appliance must use model parallelism (TP=8: OPT-66B overflows a
+single 40 GB A100); the CXL-PNM appliance chooses any DP x MP split of
+its eight 512 GB devices.  The three CXL-PNM configurations the paper
+discusses:
+
+* DP=8 (max data parallelism): +53% throughput, 4.4x energy efficiency;
+* DP=4 x MP=2: -44% latency vs DP=8, +36% throughput, 3.3x energy;
+* MP=8 (max model parallelism): -23% latency, +31% throughput, 2.9x
+  energy vs the GPU appliance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.appliance.cluster import GpuAppliance, PnmAppliance
+from repro.appliance.parallelism import ParallelismPlan
+from repro.experiments.report import ExperimentResult
+from repro.gpu.device import A100_40G
+from repro.llm.config import OPT_66B
+from repro.llm.workload import PAPER_INPUT_TOKENS
+import repro.perf.calibration as cal
+from repro.perf.metrics import relative_delta
+
+OUTPUT_TOKENS = 1024
+
+PNM_PLANS = (ParallelismPlan(8, 1), ParallelismPlan(4, 2),
+             ParallelismPlan(2, 4), ParallelismPlan(1, 8))
+
+
+def run(output_tokens: int = OUTPUT_TOKENS) -> ExperimentResult:
+    gpu_appliance = GpuAppliance(A100_40G, num_devices=8)
+    pnm_appliance = PnmAppliance(num_devices=8)
+    baseline = gpu_appliance.run(OPT_66B, ParallelismPlan(1, 8),
+                                 PAPER_INPUT_TOKENS, output_tokens)
+    rows: List[dict] = [{
+        "config": baseline.name,
+        "latency_s": baseline.latency_s,
+        "throughput_tok_s": baseline.throughput_tokens_per_s,
+        "tokens_per_j": baseline.tokens_per_joule,
+        "power_w": baseline.appliance_power_w,
+        "latency_delta": 0.0,
+        "throughput_delta": 0.0,
+        "energy_eff_ratio": 1.0,
+    }]
+    dp8_latency = None
+    for plan in PNM_PLANS:
+        result = pnm_appliance.run(OPT_66B, plan, PAPER_INPUT_TOKENS,
+                                   output_tokens)
+        if plan.data_parallel == 8:
+            dp8_latency = result.latency_s
+        rows.append({
+            "config": result.name,
+            "latency_vs_dp8": 0.0,
+            "latency_s": result.latency_s,
+            "throughput_tok_s": result.throughput_tokens_per_s,
+            "tokens_per_j": result.tokens_per_joule,
+            "power_w": result.appliance_power_w,
+            "latency_delta": relative_delta(result.latency_s,
+                                            baseline.latency_s),
+            "throughput_delta": relative_delta(
+                result.throughput_tokens_per_s,
+                baseline.throughput_tokens_per_s),
+            "energy_eff_ratio": (result.tokens_per_joule
+                                 / baseline.tokens_per_joule),
+        })
+    if dp8_latency:
+        for row in rows:
+            if "MP=2" in row["config"]:
+                row["latency_vs_dp8"] = relative_delta(row["latency_s"],
+                                                       dp8_latency)
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=f"OPT-66B appliances: 8x A100 (TP=8) vs 8x CXL-PNM "
+              f"({output_tokens} output tokens)",
+        rows=rows,
+        anchors={
+            "dp8_throughput_delta": cal.PAPER_ANCHORS[
+                "fig11_dp8_throughput_delta"],
+            "dp8_energy_ratio": cal.PAPER_ANCHORS["fig11_dp8_energy_ratio"],
+            "dp4mp2_latency_vs_dp8": cal.PAPER_ANCHORS[
+                "fig11_dp4mp2_latency_vs_dp8"],
+            "dp4mp2_throughput_delta": cal.PAPER_ANCHORS[
+                "fig11_dp4mp2_throughput_delta"],
+            "mp8_latency_delta": cal.PAPER_ANCHORS["fig11_mp8_latency_delta"],
+            "mp8_throughput_delta": cal.PAPER_ANCHORS[
+                "fig11_mp8_throughput_delta"],
+            "mp8_energy_ratio": cal.PAPER_ANCHORS["fig11_mp8_energy_ratio"],
+        },
+    )

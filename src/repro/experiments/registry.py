@@ -1,0 +1,55 @@
+"""Registry mapping paper artifacts to their reproduction harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    disadvantages,
+    fig02_capacity_bandwidth,
+    fig03_memcpy_breakdown,
+    fig04_gpu_utilization,
+    fig10_single_device,
+    fig11_appliance,
+    scalability,
+    sensitivity,
+    table1_memory_modules,
+    table2_platform,
+    table3_tco,
+    validation,
+)
+from repro.experiments.report import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig2": fig02_capacity_bandwidth.run,
+    "fig3": fig03_memcpy_breakdown.run,
+    "fig4": fig04_gpu_utilization.run,
+    "table1": table1_memory_modules.run,
+    "table2": table2_platform.run,
+    "fig10": fig10_single_device.run,
+    "fig11": fig11_appliance.run,
+    "table3": table3_tco.run,
+    "scalability": scalability.run,
+    "validation": validation.run,
+    "ablations": ablations.run,
+    "disadvantages": disadvantages.run,
+    "sensitivity": sensitivity.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by its paper artifact id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}")
+    return runner()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [EXPERIMENTS[key]() for key in EXPERIMENTS]

@@ -1,0 +1,30 @@
+"""Table II: CXL-PNM platform architecture and operating parameters."""
+
+from __future__ import annotations
+
+from repro.accelerator.device import CXLPNMDevice
+from repro.experiments.report import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    device = CXLPNMDevice()
+    table = device.table2()
+    rows = [{"parameter": key, "value": value}
+            for key, value in table.items()]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="CXL-PNM platform architecture and operating parameters",
+        rows=rows,
+        anchors={
+            "num_pes": 2048,
+            "peak_tflops": 4.09,
+            "adder_tree": "2048 multipliers / 2032 adders",
+            "register_files_mb": 63,
+            "dma_buffers_mb": 1,
+            "io_width_dram_sram": "1024 / 16384",
+            "technology": "7 nm / 1.0 GHz / 1.0 V",
+            "controller_max_watts": 90,
+            "dram_total_watts": 40,
+            "platform_total_watts": 150,
+        },
+    )

@@ -1,0 +1,76 @@
+"""Table III: hardware and operating cost comparison.
+
+Projects the Fig. 11 appliance operating points to continuous daily
+service: tokens/day, kWh/day, electricity dollars (Idaho rate), CO2, and
+the cost/CO2 efficiency metrics.  The paper's GPU appliance runs OPT-66B
+at TP=8; the CXL-PNM appliance at DP=8.
+"""
+
+from __future__ import annotations
+
+from repro.appliance.cluster import GpuAppliance, PnmAppliance
+from repro.appliance.parallelism import ParallelismPlan
+from repro.experiments.report import ExperimentResult
+from repro.gpu.device import A100_40G
+from repro.llm.config import OPT_66B
+from repro.llm.workload import PAPER_INPUT_TOKENS
+import repro.perf.calibration as cal
+from repro.tco.cost import cost_summary
+from repro.tco.energy import daily_operation
+
+OUTPUT_TOKENS = 1024
+
+
+def run() -> ExperimentResult:
+    gpu_appliance = GpuAppliance(A100_40G, num_devices=8)
+    pnm_appliance = PnmAppliance(num_devices=8)
+    gpu = gpu_appliance.run(OPT_66B, ParallelismPlan(1, 8),
+                            PAPER_INPUT_TOKENS, OUTPUT_TOKENS)
+    pnm = pnm_appliance.run(OPT_66B, ParallelismPlan(8, 1),
+                            PAPER_INPUT_TOKENS, OUTPUT_TOKENS)
+    summaries = [
+        cost_summary(daily_operation(gpu), gpu_appliance.hardware_cost_usd),
+        cost_summary(daily_operation(pnm), pnm_appliance.hardware_cost_usd),
+    ]
+    rows = []
+    for s in summaries:
+        rows.append({
+            "appliance": s.name,
+            "hardware_usd": s.hardware_cost_usd,
+            "Mtokens_per_day": s.tokens_per_day / 1e6,
+            "kwh_per_day": s.kwh_per_day,
+            "usd_per_day": s.operating_cost_usd_per_day,
+            "co2_kg_per_day": s.co2_kg_per_day,
+            "Mtokens_per_usd": s.cost_efficiency_tokens_per_usd / 1e6,
+            "Mtokens_per_kg": s.co2_efficiency_tokens_per_kg / 1e6,
+            "tco_Mtok_per_usd_3y": s.tco_tokens_per_usd(3.0) / 1e6,
+        })
+    gpu_s, pnm_s = summaries
+    rows.append({
+        "appliance": "ratio (GPU / CXL-PNM)",
+        "hardware_usd": gpu_s.hardware_cost_usd / pnm_s.hardware_cost_usd,
+        "kwh_per_day": gpu_s.kwh_per_day / pnm_s.kwh_per_day,
+        "usd_per_day": (gpu_s.operating_cost_usd_per_day
+                        / pnm_s.operating_cost_usd_per_day),
+    })
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Hardware and operating costs (OPT-66B service)",
+        rows=rows,
+        anchors={
+            "gpu_tokens_per_day": cal.PAPER_ANCHORS[
+                "table3_gpu_tokens_per_day"],
+            "pnm_tokens_per_day": cal.PAPER_ANCHORS[
+                "table3_pnm_tokens_per_day"],
+            "gpu_kwh_per_day": cal.PAPER_ANCHORS["table3_gpu_kwh_per_day"],
+            "pnm_kwh_per_day": cal.PAPER_ANCHORS["table3_pnm_kwh_per_day"],
+            "gpu_cost_per_day": cal.PAPER_ANCHORS["table3_gpu_cost_per_day"],
+            "pnm_cost_per_day": cal.PAPER_ANCHORS["table3_pnm_cost_per_day"],
+            "hardware_ratio": 1.42,
+            "energy_ratio": 2.8,
+        },
+        notes=[
+            "The 3-year TCO column is our extension: amortized hardware "
+            "plus electricity.",
+        ],
+    )

@@ -1,0 +1,90 @@
+"""Multi-GPU parallelism: tensor/pipeline partitioning and all-reduce cost.
+
+FasterTransformer-style tensor parallelism (§VII) splits attention heads
+and FFN columns across GPUs; each decoding layer then needs two
+all-reduces of the activation tile (after attention projection and after
+FC2).  Those collectives ride NVLink and are the device-to-device traffic
+the paper identifies as the multi-GPU bottleneck (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParallelismError
+from repro.gpu.device import GPUSpec
+from repro.llm.config import LLMConfig
+import repro.perf.calibration as cal
+
+#: All-reduces per decoding layer under Megatron-style tensor parallelism.
+ALLREDUCES_PER_LAYER = 2
+
+
+@dataclass(frozen=True)
+class NvlinkAllReduce:
+    """Ring all-reduce cost model over NVLink.
+
+    Ring all-reduce moves ``2 * (n-1) / n`` of the payload through each
+    device's links; small payloads are dominated by the per-collective
+    latency.
+    """
+
+    spec: GPUSpec
+    num_devices: int
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 2:
+            raise ParallelismError("all-reduce needs at least 2 devices")
+
+    def time(self, payload_bytes: float) -> float:
+        if payload_bytes < 0:
+            raise ParallelismError("negative all-reduce payload")
+        n = self.num_devices
+        wire_bytes = 2.0 * (n - 1) / n * payload_bytes
+        bandwidth = self.spec.nvlink_bandwidth * cal.NVLINK_BW_EFF
+        return cal.NVLINK_ALLREDUCE_LATENCY_S + wire_bytes / bandwidth
+
+
+@dataclass(frozen=True)
+class TensorParallelGpu:
+    """A tensor-parallel GPU group executing one model instance.
+
+    Attributes:
+        spec: The per-device GPU spec.
+        num_devices: Tensor-parallel degree (the paper's appliance: 8).
+        config: The partitioned model.
+    """
+
+    spec: GPUSpec
+    num_devices: int
+    config: LLMConfig
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ParallelismError("need at least one device")
+        if self.config.num_heads % self.num_devices:
+            raise ParallelismError(
+                f"{self.config.name}: {self.config.num_heads} heads not "
+                f"divisible by TP={self.num_devices}")
+
+    @property
+    def params_per_device(self) -> float:
+        """Parameter bytes resident on each device (layer weights split,
+        embeddings replicated)."""
+        cfg = self.config
+        layer = cfg.num_layers * cfg.layer_param_bytes / self.num_devices
+        replicated = (cfg.embedding_params + 2 * cfg.d_model) \
+            * cfg.dtype_bytes
+        return layer + replicated
+
+    def fits(self) -> bool:
+        return self.spec.fits(int(self.params_per_device))
+
+    def comm_time_per_stage(self, batch_tokens: int) -> float:
+        """All-reduce time across one stage's decoding layers."""
+        if self.num_devices == 1:
+            return 0.0
+        payload = batch_tokens * self.config.d_model * self.config.dtype_bytes
+        allreduce = NvlinkAllReduce(self.spec, self.num_devices)
+        return (self.config.num_layers * ALLREDUCES_PER_LAYER
+                * allreduce.time(payload))

@@ -1,0 +1,40 @@
+"""GPU power model.
+
+A data-centre GPU running LLM inference sits far above its idle power
+even when stalled on memory: clocks boost, HBM burns refresh and access
+energy, and the SM array leaks.  The model is a three-term affine fit —
+active-idle + memory-utilization term + compute-utilization term — with
+the operating point anchored to the paper's measured 253 W for OPT-13B
+inference on an A100 (§VIII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import GPUSpec
+import repro.perf.calibration as cal
+
+
+@dataclass(frozen=True)
+class GpuPowerModel:
+    """Operating power of one GPU device."""
+
+    spec: GPUSpec
+    active_idle_watts: float = cal.GPU_ACTIVE_IDLE_WATTS
+    mem_max_watts: float = cal.GPU_MEM_MAX_WATTS
+    core_max_watts: float = cal.GPU_CORE_MAX_WATTS
+
+    def power_watts(self, compute_utilization: float,
+                    bandwidth_utilization: float) -> float:
+        """Board power at the given utilization point, capped at TDP."""
+        for name, u in (("compute", compute_utilization),
+                        ("bandwidth", bandwidth_utilization)):
+            if not 0.0 <= u <= 1.0:
+                raise ConfigurationError(
+                    f"{name} utilization {u} outside [0, 1]")
+        power = (self.active_idle_watts
+                 + bandwidth_utilization * self.mem_max_watts
+                 + compute_utilization * self.core_max_watts)
+        return min(power, self.spec.tdp_watts)

@@ -1,0 +1,92 @@
+"""Transformer model substrate: configs, op graphs, KV cache, workloads."""
+
+from repro.llm.batching import (
+    batch_kv_bytes,
+    batched_gen_stage_ops,
+    max_batch_for_memory,
+)
+from repro.llm.checkpoint import load_checkpoint, save_checkpoint
+from repro.llm.config import (
+    EVALUATED_MODELS,
+    GPT3_175B,
+    LLMConfig,
+    MODEL_ZOO,
+    OPT_1_3B,
+    OPT_2_7B,
+    OPT_6_7B,
+    OPT_13B,
+    OPT_30B,
+    OPT_66B,
+    OPT_125M,
+    OPT_175B,
+    get_model,
+    tiny_config,
+)
+from repro.llm.graph import (
+    StageShape,
+    decoder_layer_ops,
+    gen_stage_ops,
+    sum_stage_ops,
+)
+from repro.llm.moe import MoEConfig, moe_gen_stage_ops
+from repro.llm.kvcache import KVCache, peak_kv_bytes, request_fits
+from repro.llm.ops import OpKind, OpSpec, matmul_op, vector_op
+from repro.llm.reference import (
+    KVState,
+    ModelWeights,
+    ReferenceModel,
+    random_weights,
+)
+from repro.llm.workload import (
+    PAPER_INPUT_TOKENS,
+    PAPER_MAX_OUTPUT_TOKENS,
+    InferenceRequest,
+    output_sweep,
+    paper_request,
+    sampled_workload,
+)
+
+__all__ = [
+    "MoEConfig",
+    "batch_kv_bytes",
+    "batched_gen_stage_ops",
+    "load_checkpoint",
+    "max_batch_for_memory",
+    "moe_gen_stage_ops",
+    "save_checkpoint",
+    "EVALUATED_MODELS",
+    "GPT3_175B",
+    "InferenceRequest",
+    "KVCache",
+    "KVState",
+    "LLMConfig",
+    "MODEL_ZOO",
+    "ModelWeights",
+    "OPT_125M",
+    "OPT_13B",
+    "OPT_175B",
+    "OPT_1_3B",
+    "OPT_2_7B",
+    "OPT_30B",
+    "OPT_66B",
+    "OPT_6_7B",
+    "OpKind",
+    "OpSpec",
+    "PAPER_INPUT_TOKENS",
+    "PAPER_MAX_OUTPUT_TOKENS",
+    "ReferenceModel",
+    "StageShape",
+    "decoder_layer_ops",
+    "gen_stage_ops",
+    "get_model",
+    "matmul_op",
+    "output_sweep",
+    "paper_request",
+    "peak_kv_bytes",
+    "random_weights",
+    "request_fits",
+    "sampled_workload",
+    "sum_stage_ops",
+    "tiny_config",
+    "vector_op",
+]

@@ -1,0 +1,89 @@
+"""Model checkpoint save/load (.npz).
+
+The paper's platform loads pre-trained OPT checkpoints into CXL memory;
+the reproduction's equivalent is a simple, dependency-free checkpoint
+format — a numpy ``.npz`` of the named tensors plus a JSON-encoded
+architecture header — so sessions and examples can persist and reload
+models instead of regenerating random weights.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.llm.config import LLMConfig
+from repro.llm.reference import LayerWeights, ModelWeights
+
+_CONFIG_KEY = "__config__"
+_CONFIG_FIELDS = ("name", "num_layers", "d_model", "num_heads", "d_ff",
+                  "vocab_size", "max_seq_len", "dtype_bytes")
+
+
+def save_checkpoint(weights: ModelWeights,
+                    path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a model's config and tensors to an ``.npz`` file."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    config = weights.config
+    header = {field: getattr(config, field) for field in _CONFIG_FIELDS}
+    arrays = dict(weights.named_tensors())
+    arrays[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(path: Union[str, pathlib.Path]) -> ModelWeights:
+    """Load a model saved by :func:`save_checkpoint`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"checkpoint {path} does not exist")
+    with np.load(path) as data:
+        if _CONFIG_KEY not in data:
+            raise ConfigurationError(
+                f"{path} is not a repro checkpoint (missing header)")
+        header = json.loads(bytes(data[_CONFIG_KEY]).decode("utf-8"))
+        config = LLMConfig(**header)
+        tensors = {name: data[name] for name in data.files
+                   if name != _CONFIG_KEY}
+    expected = 5 + 12 * config.num_layers
+    if len(tensors) != expected:
+        raise ConfigurationError(
+            f"{path}: expected {expected} tensors for {config.name}, "
+            f"found {len(tensors)}")
+    layers = []
+    for i in range(config.num_layers):
+        prefix = f"layer{i}."
+        try:
+            layers.append(LayerWeights(
+                ln1_gamma=tensors[prefix + "ln1_gamma"],
+                ln1_beta=tensors[prefix + "ln1_beta"],
+                w_qkv=tensors[prefix + "w_qkv"],
+                b_qkv=tensors[prefix + "b_qkv"],
+                w_proj=tensors[prefix + "w_proj"],
+                b_proj=tensors[prefix + "b_proj"],
+                ln2_gamma=tensors[prefix + "ln2_gamma"],
+                ln2_beta=tensors[prefix + "ln2_beta"],
+                w_fc1=tensors[prefix + "w_fc1"],
+                b_fc1=tensors[prefix + "b_fc1"],
+                w_fc2=tensors[prefix + "w_fc2"],
+                b_fc2=tensors[prefix + "b_fc2"],
+            ))
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"{path}: missing tensor {missing} for layer {i}")
+    return ModelWeights(
+        config=config,
+        token_embedding=tensors["token_embedding"],
+        position_embedding=tensors["position_embedding"],
+        layers=layers,
+        ln_f_gamma=tensors["ln_f_gamma"],
+        ln_f_beta=tensors["ln_f_beta"],
+        lm_head=tensors["lm_head"],
+    )

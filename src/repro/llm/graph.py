@@ -1,0 +1,182 @@
+"""Operator graphs for the summarization and generation stages.
+
+GPT-3 inference (paper Fig. 1) runs a **sum** stage over the ``L_in`` input
+tokens — dominated by GEMM — and then one **gen** stage per output token,
+each dominated by GEMV over all model parameters plus the growing KV cache.
+
+These builders produce flat :class:`~repro.llm.ops.OpSpec` lists; the
+performance models consume them directly, and the accelerator compiler uses
+the same shapes when emitting instructions, so functional and timing paths
+share one source of truth for shapes.
+
+Tensor-parallel execution is modelled by ``tensor_parallel`` ways: attention
+heads and FFN columns are split across devices (Megatron-style), shrinking
+the weight/compute of each matmul by the factor while keeping the two
+all-reduce points per layer (after attention projection, after FC2), which
+:mod:`repro.appliance.comm` charges separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError, ParallelismError
+from repro.llm.config import LLMConfig
+from repro.llm.ops import OpKind, OpSpec, matmul_op, vector_op
+
+
+@dataclass(frozen=True)
+class StageShape:
+    """Token geometry of one stage.
+
+    ``batch_tokens`` is the number of token rows processed at once (``L_in``
+    for the sum stage, 1 for a gen stage); ``context_len`` is the attention
+    span ``L`` (input tokens plus tokens generated so far).
+    """
+
+    batch_tokens: int
+    context_len: int
+
+    def __post_init__(self) -> None:
+        if self.batch_tokens <= 0 or self.context_len <= 0:
+            raise ConfigurationError("stage shape must be positive")
+        if self.batch_tokens > self.context_len:
+            raise ConfigurationError(
+                f"batch_tokens={self.batch_tokens} exceeds "
+                f"context_len={self.context_len}"
+            )
+
+
+def _split(value: int, ways: int, what: str) -> int:
+    if value % ways != 0:
+        raise ParallelismError(
+            f"cannot split {what}={value} across {ways} tensor-parallel ways"
+        )
+    return value // ways
+
+
+def decoder_layer_ops(config: LLMConfig, shape: StageShape,
+                      tensor_parallel: int = 1,
+                      layer_name: str = "layer") -> List[OpSpec]:
+    """Operator list for one decoding layer at the given stage shape.
+
+    Follows the paper's decomposition: LayerNorm, QKV generation, attention
+    (scores, softmax, context), projection, residual, LayerNorm, FC1, GELU,
+    FC2, residual.  Per-head attention matmuls are aggregated into one op
+    with the summed dimensions (heads are independent and identical).
+    """
+    if tensor_parallel < 1:
+        raise ParallelismError(f"tensor_parallel={tensor_parallel} < 1")
+    d = config.d_model
+    dtype = config.dtype_bytes
+    heads = _split(config.num_heads, tensor_parallel, "num_heads")
+    d_local = heads * config.head_dim
+    dff_local = _split(config.d_ff, tensor_parallel, "d_ff")
+    m = shape.batch_tokens
+    ctx = shape.context_len
+    hd = config.head_dim
+
+    ops: List[OpSpec] = []
+    ops.append(vector_op(f"{layer_name}.ln1", OpKind.LAYERNORM,
+                         elements=m * d, dtype_bytes=dtype))
+    ops.append(matmul_op(f"{layer_name}.qkv", m=m, n=3 * d_local, k=d,
+                         dtype_bytes=dtype))
+    # Attention scores: per head [m x hd] @ [hd x ctx]; KV streams from
+    # device memory (weights_resident=True models KV-cache traffic).
+    score = matmul_op(f"{layer_name}.attn_score", m=m, n=ctx, k=hd,
+                      dtype_bytes=dtype)
+    ops.append(OpSpec(name=score.name, kind=score.kind,
+                      flops=score.flops * heads,
+                      weight_bytes=score.weight_bytes * heads,
+                      input_bytes=score.input_bytes * heads,
+                      output_bytes=score.output_bytes * heads,
+                      m=m, n=ctx, k=hd))
+    ops.append(vector_op(f"{layer_name}.softmax", OpKind.SOFTMAX,
+                         elements=m * ctx * heads, dtype_bytes=dtype))
+    context = matmul_op(f"{layer_name}.attn_ctx", m=m, n=hd, k=ctx,
+                        dtype_bytes=dtype)
+    ops.append(OpSpec(name=context.name, kind=context.kind,
+                      flops=context.flops * heads,
+                      weight_bytes=context.weight_bytes * heads,
+                      input_bytes=context.input_bytes * heads,
+                      output_bytes=context.output_bytes * heads,
+                      m=m, n=hd, k=ctx))
+    ops.append(matmul_op(f"{layer_name}.proj", m=m, n=d, k=d_local,
+                         dtype_bytes=dtype))
+    ops.append(vector_op(f"{layer_name}.residual1", OpKind.ELEMENTWISE,
+                         elements=m * d, dtype_bytes=dtype,
+                         flops_per_element=1.0, num_inputs=2))
+    ops.append(vector_op(f"{layer_name}.ln2", OpKind.LAYERNORM,
+                         elements=m * d, dtype_bytes=dtype))
+    ops.append(matmul_op(f"{layer_name}.fc1", m=m, n=dff_local, k=d,
+                         dtype_bytes=dtype))
+    ops.append(vector_op(f"{layer_name}.gelu", OpKind.GELU,
+                         elements=m * dff_local, dtype_bytes=dtype))
+    ops.append(matmul_op(f"{layer_name}.fc2", m=m, n=d, k=dff_local,
+                         dtype_bytes=dtype))
+    ops.append(vector_op(f"{layer_name}.residual2", OpKind.ELEMENTWISE,
+                         elements=m * d, dtype_bytes=dtype,
+                         flops_per_element=1.0, num_inputs=2))
+    return ops
+
+
+def lm_head_ops(config: LLMConfig, shape: StageShape) -> List[OpSpec]:
+    """Final LayerNorm plus the LM-head projection to vocabulary logits.
+
+    Only the last token's logits are needed, so ``m`` is 1 regardless of the
+    stage (the sum stage also emits exactly one next token).
+    """
+    ops = [vector_op("lm_head.ln_f", OpKind.LAYERNORM,
+                     elements=shape.batch_tokens * config.d_model,
+                     dtype_bytes=config.dtype_bytes)]
+    ops.append(matmul_op("lm_head.logits", m=1, n=config.vocab_size,
+                         k=config.d_model, dtype_bytes=config.dtype_bytes))
+    return ops
+
+
+def embedding_ops(config: LLMConfig, shape: StageShape) -> List[OpSpec]:
+    """Token + positional embedding lookup (a gather, bandwidth only)."""
+    elems = shape.batch_tokens * config.d_model
+    return [OpSpec(name="embed", kind=OpKind.EMBEDDING, flops=float(elems),
+                   weight_bytes=float(elems * config.dtype_bytes),
+                   input_bytes=0.0,
+                   output_bytes=float(elems * config.dtype_bytes))]
+
+
+def sum_stage_ops(config: LLMConfig, input_len: int,
+                  tensor_parallel: int = 1) -> List[OpSpec]:
+    """All operators of the summarization stage over ``input_len`` tokens."""
+    shape = StageShape(batch_tokens=input_len, context_len=input_len)
+    ops = embedding_ops(config, shape)
+    for i in range(config.num_layers):
+        ops.extend(decoder_layer_ops(config, shape, tensor_parallel,
+                                     layer_name=f"layer{i}"))
+    ops.extend(lm_head_ops(config, shape))
+    return ops
+
+
+def gen_stage_ops(config: LLMConfig, context_len: int,
+                  tensor_parallel: int = 1) -> List[OpSpec]:
+    """All operators of one generation stage at attention span ``context_len``.
+
+    ``context_len`` counts the input tokens plus every token generated so
+    far including the one produced by this stage's predecessor (the paper's
+    ``L``).
+    """
+    shape = StageShape(batch_tokens=1, context_len=context_len)
+    ops = embedding_ops(config, shape)
+    for i in range(config.num_layers):
+        ops.extend(decoder_layer_ops(config, shape, tensor_parallel,
+                                     layer_name=f"layer{i}"))
+    ops.extend(lm_head_ops(config, shape))
+    return ops
+
+
+def inference_op_count(config: LLMConfig, input_len: int,
+                       output_len: int) -> int:
+    """Number of operator instances in a full inference, for sanity checks."""
+    count = len(sum_stage_ops(config, input_len))
+    for step in range(output_len - 1):
+        count += len(gen_stage_ops(config, input_len + step + 1))
+    return count

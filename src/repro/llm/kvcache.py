@@ -1,0 +1,71 @@
+"""KV-cache sizing and growth model.
+
+The attention layer of the sum stage produces key and value matrices of
+``2 x L_in x d_emb`` per layer (paper §II-B); every gen stage appends one
+K and one V vector per layer.  The cache is read in full by every gen
+stage's attention, so its size contributes to the memory-bandwidth demand
+of token generation on top of the model parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.llm.config import LLMConfig
+
+
+@dataclass
+class KVCache:
+    """Tracks the aggregated KV matrices for one inference request."""
+
+    config: LLMConfig
+    tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            raise ConfigurationError(f"negative KV token count {self.tokens}")
+
+    @property
+    def bytes_per_token(self) -> int:
+        """Cache bytes appended per token across all layers (2 vectors/layer)."""
+        return self.config.kv_bytes_per_token()
+
+    @property
+    def total_bytes(self) -> int:
+        """Current cache footprint."""
+        return self.tokens * self.bytes_per_token
+
+    def append(self, num_tokens: int = 1) -> None:
+        """Append KV vectors for ``num_tokens`` new tokens."""
+        if num_tokens < 0:
+            raise ConfigurationError(f"cannot append {num_tokens} tokens")
+        if self.tokens + num_tokens > self.config.max_seq_len:
+            raise CapacityError(
+                f"KV cache for {self.config.name} would exceed max_seq_len="
+                f"{self.config.max_seq_len} ({self.tokens}+{num_tokens})"
+            )
+        self.tokens += num_tokens
+
+    def read_bytes_for_gen(self) -> int:
+        """Bytes the next gen stage streams from the cache (reads it all)."""
+        return self.total_bytes
+
+
+def peak_kv_bytes(config: LLMConfig, input_len: int, output_len: int) -> int:
+    """Largest cache footprint of a request (after the last token)."""
+    total_tokens = input_len + output_len
+    if total_tokens > config.max_seq_len:
+        raise CapacityError(
+            f"{config.name}: {input_len}+{output_len} tokens exceed "
+            f"max_seq_len={config.max_seq_len}"
+        )
+    return total_tokens * config.kv_bytes_per_token()
+
+
+def request_fits(config: LLMConfig, memory_bytes: int, input_len: int,
+                 output_len: int, batch: int = 1) -> bool:
+    """Whether parameters plus ``batch`` requests' peak KV fit in memory."""
+    need = config.param_bytes + batch * peak_kv_bytes(config, input_len,
+                                                      output_len)
+    return need <= memory_bytes

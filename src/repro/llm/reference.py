@@ -1,0 +1,253 @@
+"""Golden numpy implementation of decoder-only transformer inference.
+
+This is the functional ground truth for the CXL-PNM accelerator: the
+instruction-level executor in :mod:`repro.accelerator.engine` must produce
+numerically identical results (same op order, same float32 arithmetic) when
+running the compiled acceleration code for the same weights.
+
+The model follows the paper's Fig. 1 structure: token+positional embedding,
+``M`` pre-LayerNorm decoding layers (QKV generation, scaled-dot-product
+attention with causal mask, projection, residual; FC1, GELU, FC2, residual),
+final LayerNorm, and an LM head producing vocabulary logits.  Inference runs
+a sum stage over the prompt and then gen stages with an aggregated KV cache,
+exactly as §II-B describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.llm.config import LLMConfig
+
+LN_EPS = 1e-5
+_GELU_C = 0.7978845608028654  # sqrt(2/pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU, the variant LLM accelerators implement."""
+    x = x.astype(np.float32)
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x ** 3)))
+
+
+def layernorm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+              eps: float = LN_EPS) -> np.ndarray:
+    """LayerNorm over the last axis: mean/variance, scale by 1/std, bias.
+
+    Mirrors the paper's description of the LayerNorm acceleration code
+    ("calculates mean and variance, multiplies each weight by the inverse
+    of standard deviation, and adds bias", §VI).
+    """
+    x = x.astype(np.float32)
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * gamma + beta
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (subtract running max, as REDUMAX does)."""
+    x = x.astype(np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def causal_mask(rows: int, cols: int, offset: int) -> np.ndarray:
+    """Boolean mask allowing row ``i`` to attend to columns ``<= i+offset``."""
+    return np.arange(cols)[None, :] <= (np.arange(rows)[:, None] + offset)
+
+
+@dataclass
+class LayerWeights:
+    """Parameters of one decoding layer (all float32)."""
+
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    w_qkv: np.ndarray      # [d, 3d]
+    b_qkv: np.ndarray      # [3d]
+    w_proj: np.ndarray     # [d, d]
+    b_proj: np.ndarray     # [d]
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    w_fc1: np.ndarray      # [d, d_ff]
+    b_fc1: np.ndarray      # [d_ff]
+    w_fc2: np.ndarray      # [d_ff, d]
+    b_fc2: np.ndarray      # [d]
+
+
+@dataclass
+class ModelWeights:
+    """Full parameter set of a decoder-only model."""
+
+    config: LLMConfig
+    token_embedding: np.ndarray      # [vocab, d]
+    position_embedding: np.ndarray   # [max_seq_len, d]
+    layers: List[LayerWeights]
+    ln_f_gamma: np.ndarray
+    ln_f_beta: np.ndarray
+    lm_head: np.ndarray              # [d, vocab]
+
+    def named_tensors(self) -> Dict[str, np.ndarray]:
+        """Flat name->array view used by model loaders."""
+        tensors = {
+            "token_embedding": self.token_embedding,
+            "position_embedding": self.position_embedding,
+            "ln_f_gamma": self.ln_f_gamma,
+            "ln_f_beta": self.ln_f_beta,
+            "lm_head": self.lm_head,
+        }
+        for i, layer in enumerate(self.layers):
+            prefix = f"layer{i}."
+            tensors.update({
+                prefix + "ln1_gamma": layer.ln1_gamma,
+                prefix + "ln1_beta": layer.ln1_beta,
+                prefix + "w_qkv": layer.w_qkv,
+                prefix + "b_qkv": layer.b_qkv,
+                prefix + "w_proj": layer.w_proj,
+                prefix + "b_proj": layer.b_proj,
+                prefix + "ln2_gamma": layer.ln2_gamma,
+                prefix + "ln2_beta": layer.ln2_beta,
+                prefix + "w_fc1": layer.w_fc1,
+                prefix + "b_fc1": layer.b_fc1,
+                prefix + "w_fc2": layer.w_fc2,
+                prefix + "b_fc2": layer.b_fc2,
+            })
+        return tensors
+
+
+def random_weights(config: LLMConfig, seed: int = 0) -> ModelWeights:
+    """Deterministic random parameters with a GPT-style init scale."""
+    rng = np.random.default_rng(seed)
+    d, dff, vocab = config.d_model, config.d_ff, config.vocab_size
+
+    def mat(rows: int, cols: int) -> np.ndarray:
+        return (rng.standard_normal((rows, cols)) * 0.02).astype(np.float32)
+
+    def vec(n: int, value: float = 0.0) -> np.ndarray:
+        return np.full(n, value, dtype=np.float32)
+
+    layers = []
+    for _ in range(config.num_layers):
+        layers.append(LayerWeights(
+            ln1_gamma=np.ones(d, dtype=np.float32), ln1_beta=vec(d),
+            w_qkv=mat(d, 3 * d), b_qkv=vec(3 * d),
+            w_proj=mat(d, d), b_proj=vec(d),
+            ln2_gamma=np.ones(d, dtype=np.float32), ln2_beta=vec(d),
+            w_fc1=mat(d, dff), b_fc1=vec(dff),
+            w_fc2=mat(dff, d), b_fc2=vec(d),
+        ))
+    return ModelWeights(
+        config=config,
+        token_embedding=mat(vocab, d),
+        position_embedding=mat(config.max_seq_len, d),
+        layers=layers,
+        ln_f_gamma=np.ones(d, dtype=np.float32),
+        ln_f_beta=vec(d),
+        lm_head=mat(d, vocab),
+    )
+
+
+@dataclass
+class KVState:
+    """Aggregated per-layer key/value matrices, grown by each stage."""
+
+    keys: List[np.ndarray] = field(default_factory=list)    # [L, d] per layer
+    values: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def context_len(self) -> int:
+        return 0 if not self.keys else self.keys[0].shape[0]
+
+
+class ReferenceModel:
+    """Plain-numpy decoder-only transformer used as the functional oracle."""
+
+    def __init__(self, weights: ModelWeights):
+        self.weights = weights
+        self.config = weights.config
+
+    def _attention(self, q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                   offset: int) -> np.ndarray:
+        """Multi-head scaled-dot-product attention with causal masking.
+
+        ``q`` is [m, d]; ``k``/``v`` are [L, d] aggregated matrices.
+        ``offset`` is how many cached tokens precede the first query row.
+        """
+        cfg = self.config
+        m, L = q.shape[0], k.shape[0]
+        hd = cfg.head_dim
+        out = np.empty_like(q)
+        mask = causal_mask(m, L, offset)
+        scale = np.float32(1.0 / np.sqrt(hd))
+        for h in range(cfg.num_heads):
+            sl = slice(h * hd, (h + 1) * hd)
+            scores = (q[:, sl] @ k[:, sl].T) * scale
+            scores = np.where(mask, scores, np.float32(-1e9))
+            out[:, sl] = softmax(scores, axis=-1) @ v[:, sl]
+        return out
+
+    def _decoder_layer(self, x: np.ndarray, layer: LayerWeights,
+                       kv: KVState, layer_idx: int) -> np.ndarray:
+        offset = kv.context_len if len(kv.keys) > layer_idx else 0
+        h = layernorm(x, layer.ln1_gamma, layer.ln1_beta)
+        qkv = h @ layer.w_qkv + layer.b_qkv
+        d = self.config.d_model
+        q, k_new, v_new = qkv[:, :d], qkv[:, d:2 * d], qkv[:, 2 * d:]
+        if len(kv.keys) > layer_idx:
+            k = np.concatenate([kv.keys[layer_idx], k_new], axis=0)
+            v = np.concatenate([kv.values[layer_idx], v_new], axis=0)
+            kv.keys[layer_idx] = k
+            kv.values[layer_idx] = v
+        else:
+            k, v = k_new, v_new
+            kv.keys.append(k)
+            kv.values.append(v)
+        attn = self._attention(q, k, v, offset)
+        x = x + (attn @ layer.w_proj + layer.b_proj)
+        h = layernorm(x, layer.ln2_gamma, layer.ln2_beta)
+        h = gelu(h @ layer.w_fc1 + layer.b_fc1)
+        x = x + (h @ layer.w_fc2 + layer.b_fc2)
+        return x
+
+    def _embed(self, tokens: Sequence[int], position0: int) -> np.ndarray:
+        cfg = self.config
+        for t in tokens:
+            if not 0 <= t < cfg.vocab_size:
+                raise ExecutionError(f"token {t} outside vocabulary")
+        if position0 + len(tokens) > cfg.max_seq_len:
+            raise ConfigurationError("sequence exceeds max_seq_len")
+        tok = self.weights.token_embedding[np.asarray(tokens, dtype=np.int64)]
+        pos = self.weights.position_embedding[
+            position0:position0 + len(tokens)]
+        return (tok + pos).astype(np.float32)
+
+    def forward(self, tokens: Sequence[int], kv: KVState) -> np.ndarray:
+        """Run one stage over ``tokens``; returns the last token's logits.
+
+        With an empty ``kv`` this is the sum stage (tokens = prompt); with a
+        populated cache it is a gen stage (tokens = the one new token).
+        """
+        if not tokens:
+            raise ConfigurationError("forward needs at least one token")
+        x = self._embed(tokens, position0=kv.context_len)
+        for i, layer in enumerate(self.weights.layers):
+            x = self._decoder_layer(x, layer, kv, i)
+        w = self.weights
+        final = layernorm(x[-1:], w.ln_f_gamma, w.ln_f_beta)
+        return (final @ w.lm_head)[0]
+
+    def generate(self, prompt: Sequence[int], num_tokens: int
+                 ) -> List[int]:
+        """Greedy-decode ``num_tokens`` tokens after ``prompt``."""
+        if num_tokens <= 0:
+            raise ConfigurationError("num_tokens must be positive")
+        kv = KVState()
+        logits = self.forward(list(prompt), kv)
+        out = [int(np.argmax(logits))]
+        for _ in range(num_tokens - 1):
+            logits = self.forward([out[-1]], kv)
+            out.append(int(np.argmax(logits)))
+        return out

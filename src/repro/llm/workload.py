@@ -1,0 +1,98 @@
+"""Inference-request workloads.
+
+The paper evaluates "representative text generation workloads in
+datacenters": 64 input tokens and up to 1024 output tokens per request
+(§VII, citing the GPT-3 paper's service statistics).  This module provides
+the request record plus deterministic generators for single-point and
+distribution-sampled workloads used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The paper's evaluation point (§VII).
+PAPER_INPUT_TOKENS = 64
+PAPER_MAX_OUTPUT_TOKENS = 1024
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One text-generation request.
+
+    Attributes:
+        input_len: Number of prompt tokens (``L_in``).
+        output_len: Number of tokens to generate.
+        request_id: Stable identifier for scheduling traces.
+    """
+
+    input_len: int
+    output_len: int
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_len <= 0:
+            raise ConfigurationError(f"input_len={self.input_len} must be > 0")
+        if self.output_len <= 0:
+            raise ConfigurationError(
+                f"output_len={self.output_len} must be > 0"
+            )
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_len + self.output_len
+
+
+def paper_request(output_len: int = PAPER_MAX_OUTPUT_TOKENS
+                  ) -> InferenceRequest:
+    """The paper's canonical request: 64 input tokens, ``output_len`` out."""
+    return InferenceRequest(input_len=PAPER_INPUT_TOKENS,
+                            output_len=output_len)
+
+
+def output_sweep(points: Sequence[int] = (1, 4, 16, 64, 128, 256, 512, 1024),
+                 input_len: int = PAPER_INPUT_TOKENS
+                 ) -> List[InferenceRequest]:
+    """The Fig. 10 sweep: fixed input length, growing output length."""
+    return [InferenceRequest(input_len=input_len, output_len=n,
+                             request_id=i)
+            for i, n in enumerate(points)]
+
+
+def sampled_workload(num_requests: int, seed: int = 7,
+                     mean_input: int = PAPER_INPUT_TOKENS,
+                     mean_output: int = 256,
+                     max_total: int = 2048) -> List[InferenceRequest]:
+    """Sample a request mix with log-normal-ish length spread.
+
+    Datacenter token-length distributions are heavy-tailed; a clipped
+    lognormal around the paper's means gives a realistic mix for the
+    scheduler benchmarks without requiring proprietary traces.
+    """
+    if num_requests <= 0:
+        raise ConfigurationError("num_requests must be positive")
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(num_requests):
+        inp = int(np.clip(rng.lognormal(np.log(mean_input), 0.5), 1,
+                          max_total // 2))
+        out = int(np.clip(rng.lognormal(np.log(mean_output), 0.7), 1,
+                          max_total - inp))
+        requests.append(InferenceRequest(input_len=inp, output_len=out,
+                                         request_id=i))
+    return requests
+
+
+def token_stream(request: InferenceRequest) -> Iterator[int]:
+    """Yield the context length ``L`` seen by each gen stage of a request.
+
+    The first generated token comes from the sum stage; each subsequent
+    token ``t`` runs a gen stage with context ``input_len + t``.
+    """
+    for t in range(1, request.output_len):
+        yield request.input_len + t

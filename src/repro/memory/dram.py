@@ -1,0 +1,158 @@
+"""DRAM technology parameters: DDR5, GDDR6, HBM3, LPDDR5X.
+
+Each :class:`DramTechnology` captures the per-pin signaling rate, per-die
+capacity, per-package composition, supply voltages, and stacking technology
+that §IV and Table I of the paper use to derive what a full-height/
+half-length (FHHL) CXL memory module can deliver per technology.
+
+The per-package numbers here reproduce Table I's first four rows exactly:
+
+============== ======= ======= ======= =========
+quantity        DDR5    GDDR6   HBM3    LPDDR5X
+============== ======= ======= ======= =========
+Gb/s per pin    5.6     24      6.4     8.5
+I/O pins/pkg    4       32      1024    128
+GB/s per pkg    2.8     96      819.2   136
+GB per pkg      16      2       16      64
+============== ======= ======= ======= =========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import GB, Gbps, gbps_to_bytes_per_s
+
+
+class StackingTech(enum.Enum):
+    """Die-stacking technology; drives relative packaging cost."""
+
+    NONE = "single-die"
+    TSV = "through-silicon-via"       # expensive (DDR5 3DS, HBM)
+    WIRE_BOND = "wire-bonding"        # cheap (LPDDR)
+
+
+@dataclass(frozen=True)
+class DramTechnology:
+    """One DRAM technology's package-level parameters.
+
+    Attributes:
+        name: Technology name as used in Table I.
+        gbps_per_pin: Data rate per DQ pin.
+        io_width_per_package: DQ pins exposed by one package.
+        die_capacity_gbit: Capacity of one DRAM die.
+        dies_per_package: Total dies in one package (stacks x dies/stack).
+        stacking: Die-stacking technology used inside the package.
+        core_voltage / io_voltage: Supply voltages (Table I).
+        access_energy_pj_per_bit: Dynamic access+transfer energy.  The
+            paper states LPDDR5X is "14% lower pJ/bit than GDDR6"; values
+            here honour that ratio, with DDR5 and HBM3 set from public
+            module-level estimates.
+        background_watts_per_die: Standby/refresh power per die.
+        table1_normalized_module_power: Table I's "power/module" row,
+            normalized to the LPDDR5X module.  Carried as data because the
+            paper derives it from proprietary datasheet IDD values that do
+            not decompose into a simple per-bit + background model; the
+            simulation energy accounting uses ``access_energy_pj_per_bit``
+            and ``background_watts_per_die`` instead.
+        package_cost_usd: Rough relative package cost used by the TCO
+            sensitivity analysis (not a paper number).
+    """
+
+    name: str
+    gbps_per_pin: float
+    io_width_per_package: int
+    die_capacity_gbit: int
+    dies_per_package: int
+    stacking: StackingTech
+    core_voltage: float
+    io_voltage: float
+    access_energy_pj_per_bit: float
+    background_watts_per_die: float
+    table1_normalized_module_power: float
+    package_cost_usd: float
+
+    def __post_init__(self) -> None:
+        if self.gbps_per_pin <= 0 or self.io_width_per_package <= 0:
+            raise ConfigurationError(f"{self.name}: invalid signaling params")
+        if self.die_capacity_gbit <= 0 or self.dies_per_package <= 0:
+            raise ConfigurationError(f"{self.name}: invalid capacity params")
+
+    @property
+    def bandwidth_per_package(self) -> float:
+        """Peak package bandwidth in bytes/s (pins x rate / 8)."""
+        return gbps_to_bytes_per_s(
+            self.gbps_per_pin * self.io_width_per_package)
+
+    @property
+    def capacity_per_package(self) -> int:
+        """Package capacity in bytes (dies x die capacity)."""
+        return self.die_capacity_gbit * Gbps // 8 * self.dies_per_package
+
+    def access_energy_joules(self, num_bytes: float) -> float:
+        """Dynamic energy to move ``num_bytes`` through the interface."""
+        return num_bytes * 8.0 * self.access_energy_pj_per_bit * 1e-12
+
+
+#: DDR5 x4 3DS package: eight TSV-stacked 16 Gb dies (server RDIMM part).
+DDR5 = DramTechnology(
+    name="DDR5", gbps_per_pin=5.6, io_width_per_package=4,
+    die_capacity_gbit=16, dies_per_package=8, stacking=StackingTech.TSV,
+    core_voltage=1.1, io_voltage=1.1,
+    access_energy_pj_per_bit=10.0, background_watts_per_die=0.025,
+    table1_normalized_module_power=0.35,
+    package_cost_usd=95.0,
+)
+
+#: GDDR6 x32 package: a single 16 Gb die (no multi-rank stacking possible
+#: under GDDR's signal-integrity constraints, §IV).
+GDDR6 = DramTechnology(
+    name="GDDR6", gbps_per_pin=24.0, io_width_per_package=32,
+    die_capacity_gbit=16, dies_per_package=1, stacking=StackingTech.NONE,
+    core_voltage=1.35, io_voltage=1.35,
+    access_energy_pj_per_bit=4.65, background_watts_per_die=0.45,
+    table1_normalized_module_power=0.96,
+    package_cost_usd=22.0,
+)
+
+#: HBM3 MPGA package: eight TSV-stacked 16 Gb dies, 1024-bit interface.
+HBM3 = DramTechnology(
+    name="HBM3", gbps_per_pin=6.4, io_width_per_package=1024,
+    die_capacity_gbit=16, dies_per_package=8, stacking=StackingTech.TSV,
+    core_voltage=1.1, io_voltage=0.4,
+    access_energy_pj_per_bit=6.0, background_watts_per_die=0.40,
+    table1_normalized_module_power=3.00,
+    package_cost_usd=260.0,
+)
+
+#: LPDDR5X x128 package: eight 16-bit channels, each two wire-bonded
+#: 2-die stacks of 16 Gb dies => 32 dies, 64 GB, 136 GB/s (Fig. 5).
+LPDDR5X = DramTechnology(
+    name="LPDDR5X", gbps_per_pin=8.5, io_width_per_package=128,
+    die_capacity_gbit=16, dies_per_package=32,
+    stacking=StackingTech.WIRE_BOND,
+    core_voltage=1.05, io_voltage=0.5,
+    access_energy_pj_per_bit=4.0, background_watts_per_die=0.040,
+    table1_normalized_module_power=1.00,
+    package_cost_usd=165.0,
+)
+
+TECHNOLOGIES: Dict[str, DramTechnology] = {
+    t.name: t for t in (DDR5, GDDR6, HBM3, LPDDR5X)
+}
+
+#: Table I column order.
+TABLE1_ORDER: Tuple[str, ...] = ("DDR5", "GDDR6", "HBM3", "LPDDR5X")
+
+
+def get_technology(name: str) -> DramTechnology:
+    """Look up a DRAM technology by Table I name."""
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown DRAM technology {name!r}; known: "
+            f"{', '.join(TABLE1_ORDER)}")

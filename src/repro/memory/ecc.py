@@ -1,0 +1,226 @@
+"""Error-correcting-code substrate (paper §IX, "Error Correcting
+Capability").
+
+The paper argues LPDDR5X is datacenter-ready because it combines:
+
+* **on-die ECC** — each DRAM die corrects single-bit cell errors
+  internally;
+* **inline ECC** — the controller stores codeword parity in the same
+  device as the data (wide-interface DRAM cannot afford side-band ECC
+  chips), spending a fraction of capacity;
+* **link ECC** — detects/corrects errors on the wire during transfers;
+* **ECS** (error check and scrub) — periodic scrubbing bounds the window
+  in which a second error can join a first to form an uncorrectable pair.
+
+This module implements a real SECDED Hamming(72,64) codec operating on
+64-bit words (encode, inject, decode/correct/detect), the inline-ECC
+capacity accounting, and an analytical scrub-interval reliability model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DATA_BITS = 64
+#: Hamming SECDED over 64 data bits: 7 Hamming parity bits + 1 overall.
+PARITY_BITS = 8
+CODEWORD_BITS = DATA_BITS + PARITY_BITS
+
+
+def _parity_positions() -> List[int]:
+    """Power-of-two positions (1-indexed) in the 71-bit Hamming layout."""
+    return [1 << i for i in range(7)]  # 1, 2, 4, ..., 64
+
+
+def _layout() -> Tuple[List[int], List[int]]:
+    """1-indexed positions of data bits and parity bits in the codeword."""
+    parity = _parity_positions()
+    data = [pos for pos in range(1, DATA_BITS + len(parity) + 1)
+            if pos not in parity]
+    return data, parity
+
+
+_DATA_POS, _PARITY_POS = _layout()
+
+
+def _word_to_bits(word: int) -> np.ndarray:
+    if not 0 <= word < (1 << DATA_BITS):
+        raise ConfigurationError(f"word {word:#x} is not a 64-bit value")
+    return np.array([(word >> i) & 1 for i in range(DATA_BITS)],
+                    dtype=np.uint8)
+
+
+def _bits_to_word(bits: np.ndarray) -> int:
+    return int(sum(int(b) << i for i, b in enumerate(bits)))
+
+
+def encode(word: int) -> np.ndarray:
+    """Encode a 64-bit word into a 72-bit SECDED codeword (bit array).
+
+    Layout: bits 0..70 form a (71,64) Hamming code in the classic
+    position-indexed arrangement; bit 71 is the overall parity that
+    upgrades single-error correction to double-error detection.
+    """
+    data_bits = _word_to_bits(word)
+    code = np.zeros(CODEWORD_BITS, dtype=np.uint8)
+    for bit, pos in zip(data_bits, _DATA_POS):
+        code[pos - 1] = bit
+    for parity_pos in _PARITY_POS:
+        acc = 0
+        for pos in range(1, DATA_BITS + len(_PARITY_POS) + 1):
+            if pos & parity_pos and pos != parity_pos:
+                acc ^= int(code[pos - 1])
+        code[parity_pos - 1] = acc
+    code[CODEWORD_BITS - 1] = int(code[:CODEWORD_BITS - 1].sum()) & 1
+    return code
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one codeword."""
+
+    OK = "no-error"
+    CORRECTED = "single-bit-corrected"
+    DETECTED = "double-bit-detected"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoded word plus what the decoder had to do."""
+
+    word: int
+    status: DecodeStatus
+    flipped_position: int = -1   # 0-indexed position corrected, if any
+
+
+def decode(code: np.ndarray) -> DecodeResult:
+    """Decode a 72-bit codeword: correct 1-bit, detect 2-bit errors."""
+    if code.shape != (CODEWORD_BITS,):
+        raise ConfigurationError(
+            f"codeword must be {CODEWORD_BITS} bits, got {code.shape}")
+    code = code.copy()
+    syndrome = 0
+    for parity_pos in _PARITY_POS:
+        acc = 0
+        for pos in range(1, DATA_BITS + len(_PARITY_POS) + 1):
+            if pos & parity_pos:
+                acc ^= int(code[pos - 1])
+        if acc:
+            syndrome |= parity_pos
+    overall = int(code.sum()) & 1
+
+    status = DecodeStatus.OK
+    flipped = -1
+    if syndrome and overall:
+        # Single-bit error at `syndrome` (could be a parity bit).
+        flipped = syndrome - 1
+        code[flipped] ^= 1
+        status = DecodeStatus.CORRECTED
+    elif syndrome and not overall:
+        # Two errors: Hamming syndrome fires but overall parity matches.
+        return DecodeResult(word=0, status=DecodeStatus.DETECTED)
+    elif not syndrome and overall:
+        # The overall parity bit itself flipped.
+        flipped = CODEWORD_BITS - 1
+        code[flipped] ^= 1
+        status = DecodeStatus.CORRECTED
+
+    data_bits = np.array([code[pos - 1] for pos in _DATA_POS],
+                         dtype=np.uint8)
+    return DecodeResult(word=_bits_to_word(data_bits), status=status,
+                        flipped_position=flipped)
+
+
+def inject_errors(code: np.ndarray, positions: List[int]) -> np.ndarray:
+    """Flip the given 0-indexed bit positions of a codeword (a copy)."""
+    flipped = code.copy()
+    for pos in positions:
+        if not 0 <= pos < CODEWORD_BITS:
+            raise ConfigurationError(f"bit position {pos} out of range")
+        flipped[pos] ^= 1
+    return flipped
+
+
+@dataclass(frozen=True)
+class InlineEccConfig:
+    """Inline-ECC capacity accounting for wide-interface DRAM.
+
+    LPDDR5X stores parity in the same device as the data; the fraction of
+    the module given to parity is ``PARITY_BITS / CODEWORD_BITS`` when
+    every word is covered.
+    """
+
+    module_capacity_bytes: int
+    covered_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.module_capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0.0 <= self.covered_fraction <= 1.0:
+            raise ConfigurationError("covered fraction outside [0, 1]")
+
+    @property
+    def parity_overhead_fraction(self) -> float:
+        return self.covered_fraction * PARITY_BITS / CODEWORD_BITS
+
+    @property
+    def usable_capacity_bytes(self) -> int:
+        return int(self.module_capacity_bytes
+                   * (1.0 - self.parity_overhead_fraction))
+
+
+@dataclass(frozen=True)
+class ScrubPolicy:
+    """ECS reliability model: how scrubbing bounds uncorrectable errors.
+
+    Between scrubs, independent single-bit errors accumulate at
+    ``bit_error_rate_per_bit_hour``; a codeword becomes uncorrectable when
+    a second error lands before the first is scrubbed away.  The expected
+    uncorrectable-codeword rate is approximately
+    ``n_codewords * (lambda_cw * T)^2 / (2T)`` for scrub period ``T`` and
+    per-codeword error rate ``lambda_cw`` (two Poisson arrivals in one
+    period).
+    """
+
+    bit_error_rate_per_bit_hour: float
+    scrub_interval_hours: float
+
+    def __post_init__(self) -> None:
+        if self.bit_error_rate_per_bit_hour < 0:
+            raise ConfigurationError("error rate cannot be negative")
+        if self.scrub_interval_hours <= 0:
+            raise ConfigurationError("scrub interval must be positive")
+
+    def codeword_error_rate_per_hour(self) -> float:
+        return self.bit_error_rate_per_bit_hour * CODEWORD_BITS
+
+    def uncorrectable_prob_per_codeword_per_interval(self) -> float:
+        """P(>= 2 errors in one codeword within one scrub interval).
+
+        Realistic rates make ``lam`` tiny; ``1 - exp(-lam)(1+lam)``
+        cancels catastrophically in float64, so small rates use the series
+        ``lam^2/2 - lam^3/3 + ...``.
+        """
+        lam = self.codeword_error_rate_per_hour() \
+            * self.scrub_interval_hours
+        if lam < 1e-4:
+            return float(lam * lam / 2.0 - lam ** 3 / 3.0)
+        return float(1.0 - np.exp(-lam) * (1.0 + lam))
+
+    def uncorrectable_rate_per_hour(self, capacity_bytes: int) -> float:
+        """Expected uncorrectable codewords per hour for a module."""
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        codewords = capacity_bytes * 8 / DATA_BITS
+        per_interval = self.uncorrectable_prob_per_codeword_per_interval()
+        return codewords * per_interval / self.scrub_interval_hours
+
+    def scrub_bandwidth_bytes_per_s(self, capacity_bytes: int) -> float:
+        """Memory bandwidth consumed by reading everything once per
+        interval — the cost side of shorter scrub periods."""
+        return capacity_bytes / (self.scrub_interval_hours * 3600.0)

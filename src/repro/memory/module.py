@@ -1,0 +1,129 @@
+"""CXL memory-module composition (paper §IV, Table I).
+
+A :class:`MemoryModule` is N DRAM packages of one technology plus a CXL
+controller on an FHHL card.  :func:`build_module` applies the form-factor
+constraints to produce the maximal module per technology, reproducing
+Table I's module-level rows; :func:`lpddr5x_module` is the paper's 512 GB /
+1.1 TB/s proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.memory.dram import (
+    DramTechnology,
+    LPDDR5X,
+    TABLE1_ORDER,
+    get_technology,
+)
+from repro.memory.packaging import (
+    FHHL,
+    FormFactor,
+    max_packages,
+    packaging_cost_factor,
+    validate_composition,
+)
+from repro.memory.power import ModulePowerModel
+from repro.units import GB, TB
+
+
+@dataclass(frozen=True)
+class MemoryModule:
+    """A populated CXL memory module.
+
+    Attributes:
+        technology: The DRAM technology used.
+        num_packages: DRAM packages on the card.
+        form_factor: The card form factor the module was validated against.
+    """
+
+    technology: DramTechnology
+    num_packages: int
+    form_factor: FormFactor = FHHL
+
+    def __post_init__(self) -> None:
+        validate_composition(self.technology, self.num_packages,
+                             self.form_factor)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total module capacity in bytes."""
+        return self.technology.capacity_per_package * self.num_packages
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak bandwidth in bytes/s across all packages."""
+        return self.technology.bandwidth_per_package * self.num_packages
+
+    @property
+    def io_width(self) -> int:
+        """Total DQ pins between DRAM packages and the CXL controller."""
+        return self.technology.io_width_per_package * self.num_packages
+
+    @property
+    def total_dies(self) -> int:
+        return self.technology.dies_per_package * self.num_packages
+
+    @property
+    def power_model(self) -> ModulePowerModel:
+        return ModulePowerModel(self)
+
+    @property
+    def dram_cost_usd(self) -> float:
+        """Rough DRAM bill-of-materials cost, for TCO sensitivity only."""
+        return (self.technology.package_cost_usd * self.num_packages
+                * packaging_cost_factor(self.technology))
+
+    def describe(self) -> Dict[str, float]:
+        """Table I row for this module (plus derived power at reference)."""
+        return {
+            "bandwidth_per_pin_gbps": self.technology.gbps_per_pin,
+            "io_width_per_package": self.technology.io_width_per_package,
+            "bandwidth_per_package_gb_s":
+                self.technology.bandwidth_per_package / GB,
+            "capacity_per_package_gb":
+                self.technology.capacity_per_package / GB,
+            "packages_per_module": self.num_packages,
+            "io_width_per_module": self.io_width,
+            "bandwidth_per_module_gb_s": self.peak_bandwidth / GB,
+            "capacity_per_module_gb": self.capacity_bytes / GB,
+            "core_voltage": self.technology.core_voltage,
+            "io_voltage": self.technology.io_voltage,
+        }
+
+
+def build_module(tech_name: str,
+                 form_factor: FormFactor = FHHL) -> MemoryModule:
+    """Build the maximal module of ``tech_name`` under the form factor."""
+    tech = get_technology(tech_name)
+    return MemoryModule(technology=tech,
+                        num_packages=max_packages(tech, form_factor),
+                        form_factor=form_factor)
+
+
+def lpddr5x_module() -> MemoryModule:
+    """The paper's proposed module: 8 LPDDR5X x128 packages on FHHL.
+
+    512 GB capacity, 1.1 TB/s peak bandwidth (Table I rightmost column).
+    """
+    return MemoryModule(technology=LPDDR5X, num_packages=8)
+
+
+def table1_rows(form_factor: FormFactor = FHHL) -> List[Dict[str, float]]:
+    """All four Table I columns, each with normalized module power.
+
+    Capacity/bandwidth/I/O rows are derived from the packaging math; the
+    normalized power row is carried from the technology data (see
+    :class:`~repro.memory.dram.DramTechnology`).
+    """
+    modules = [build_module(name, form_factor) for name in TABLE1_ORDER]
+    rows = []
+    for module in modules:
+        row = dict(module.describe())
+        row["technology"] = module.technology.name
+        row["power_per_module_normalized"] = (
+            module.technology.table1_normalized_module_power)
+        rows.append(row)
+    return rows

@@ -1,0 +1,121 @@
+"""Form-factor and packaging constraints for CXL memory modules.
+
+§IV of the paper walks through why each DRAM technology supports only so
+many packages on a full-height/half-length (FHHL) CXL card: board area for
+DDR5, PCB trace count between DRAM and the controller for GDDR6/LPDDR5X,
+and silicon-interposer (SiP) limits for HBM3.  This module encodes those
+constraints and validates candidate module compositions against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import FormFactorError
+from repro.memory.dram import DramTechnology, StackingTech
+
+#: CXL add-in-card power ceiling the paper cites (Watts).
+MODULE_POWER_BUDGET_WATTS = 150.0
+
+
+@dataclass(frozen=True)
+class FormFactor:
+    """A CXL add-in-card form factor with its packaging budgets.
+
+    Attributes:
+        name: e.g. ``"FHHL"``.
+        board_package_sites: Max DRAM package footprints on the PCB.
+        controller_trace_budget: Max DQ traces routable between the DRAM
+            packages and the CXL controller package.
+        sip_package_limit: Max MPGA (HBM-class) packages on one silicon
+            interposer, for technologies that cannot sit on the PCB.
+        power_budget_watts: Card-level power ceiling.
+    """
+
+    name: str
+    board_package_sites: int
+    controller_trace_budget: int
+    sip_package_limit: int
+    power_budget_watts: float = MODULE_POWER_BUDGET_WATTS
+
+
+#: Full-height/half-length: the paper's module form factor.  The budgets
+#: are chosen so each technology's package limit matches §IV's analysis:
+#: DDR5 32 (board area), GDDR6 16 and LPDDR5X 8 (trace count: 16*32 = 512,
+#: 8*128 = 1024 traces), HBM3 5 (H100-class SiP).
+FHHL = FormFactor(
+    name="FHHL",
+    board_package_sites=32,
+    controller_trace_budget=1024,
+    sip_package_limit=5,
+)
+
+#: Half-height/half-length, for the scalability discussion: half the area
+#: and traces of FHHL.
+HHHL = FormFactor(
+    name="HHHL",
+    board_package_sites=16,
+    controller_trace_budget=512,
+    sip_package_limit=2,
+    power_budget_watts=75.0,
+)
+
+#: GDDR6's trace budget is tighter than LPDDR5X's because its signaling
+#: rate (24 Gb/s vs 8.5 Gb/s) demands wider spacing and more ground
+#: shielding per DQ trace; §IV caps GDDR6 at 16 x32 packages (512 DQ) on
+#: the same card that routes 1024 LPDDR5X DQ traces.  We model this as a
+#: per-technology trace-cost multiplier.
+TRACE_COST_MULTIPLIER: Dict[str, float] = {
+    "DDR5": 1.0,
+    "GDDR6": 2.0,
+    "HBM3": 1.0,     # unused: HBM routes through the interposer
+    "LPDDR5X": 1.0,
+}
+
+
+def _is_mpga(tech: DramTechnology) -> bool:
+    """HBM-class parts (1024-bit interfaces) come in MPGA packages that
+    must sit on a silicon interposer rather than the PCB (§IV)."""
+    return tech.io_width_per_package >= 1024
+
+
+def max_packages(tech: DramTechnology, form_factor: FormFactor = FHHL) -> int:
+    """Maximum DRAM packages of ``tech`` on a module of ``form_factor``.
+
+    Applies the binding constraint for the technology: SiP limit for
+    MPGA-packaged DRAM (HBM), otherwise the smaller of board sites and
+    trace budget.
+    """
+    if _is_mpga(tech):
+        return form_factor.sip_package_limit
+    trace_cost = TRACE_COST_MULTIPLIER.get(tech.name, 1.0)
+    by_traces = int(form_factor.controller_trace_budget
+                    // (tech.io_width_per_package * trace_cost))
+    return max(0, min(form_factor.board_package_sites, by_traces))
+
+
+def validate_composition(tech: DramTechnology, num_packages: int,
+                         form_factor: FormFactor = FHHL) -> None:
+    """Raise :class:`FormFactorError` if the composition is infeasible."""
+    if num_packages <= 0:
+        raise FormFactorError(
+            f"{tech.name}: module needs at least one package")
+    limit = max_packages(tech, form_factor)
+    if num_packages > limit:
+        raise FormFactorError(
+            f"{tech.name}: {num_packages} packages exceed the "
+            f"{form_factor.name} limit of {limit}")
+
+
+def packaging_cost_factor(tech: DramTechnology) -> float:
+    """Relative cost factor of the die-stacking technology.
+
+    Wire bonding (LPDDR) is the cheap option the paper highlights; TSV
+    stacking (DDR5 3DS, HBM) carries a substantial premium.
+    """
+    return {
+        StackingTech.NONE: 1.0,
+        StackingTech.WIRE_BOND: 1.15,
+        StackingTech.TSV: 2.5,
+    }[tech.stacking]

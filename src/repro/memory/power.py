@@ -1,0 +1,72 @@
+"""DRAM module power model.
+
+Module power splits into a background term (standby + refresh, proportional
+to die count) and a dynamic term (access + I/O transfer energy per bit,
+proportional to achieved bandwidth).  Table I's "power/module" row compares
+modules at a common reference utilization; §VII's Table II states the
+LPDDR5X module draws ~40 W in operation, which anchors the absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.memory.module import MemoryModule
+
+#: Bandwidth utilization at which Table I's normalized power row compares
+#: modules.  Chosen with the energy/bit constants so the LPDDR5X module
+#: lands at ~40 W (Table II's "DRAM total power").
+REFERENCE_UTILIZATION = 0.70
+
+
+@dataclass(frozen=True)
+class ModulePowerModel:
+    """Power model bound to one :class:`~repro.memory.module.MemoryModule`."""
+
+    module: "MemoryModule"
+
+    @property
+    def background_watts(self) -> float:
+        """Standby + refresh power of all dies on the module."""
+        tech = self.module.technology
+        return tech.background_watts_per_die * self.module.total_dies
+
+    def dynamic_watts(self, achieved_bandwidth: float) -> float:
+        """Dynamic power at a sustained bandwidth (bytes/s)."""
+        if achieved_bandwidth < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+        if achieved_bandwidth > self.module.peak_bandwidth * 1.0001:
+            raise ConfigurationError(
+                f"bandwidth {achieved_bandwidth:.3e} exceeds module peak "
+                f"{self.module.peak_bandwidth:.3e}")
+        tech = self.module.technology
+        bits_per_s = achieved_bandwidth * 8.0
+        return bits_per_s * tech.access_energy_pj_per_bit * 1e-12
+
+    def power_watts(self, utilization: float) -> float:
+        """Total module power at a bandwidth utilization in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization {utilization} outside [0, 1]")
+        return (self.background_watts
+                + self.dynamic_watts(self.module.peak_bandwidth * utilization))
+
+    def reference_power_watts(self) -> float:
+        """Power at the Table I reference utilization."""
+        return self.power_watts(REFERENCE_UTILIZATION)
+
+    def energy_joules(self, bytes_moved: float, elapsed_s: float) -> float:
+        """Energy to move ``bytes_moved`` over ``elapsed_s`` seconds.
+
+        Background power accrues for the whole interval; dynamic energy is
+        per-bit and independent of the rate.
+        """
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed time cannot be negative")
+        tech = self.module.technology
+        return (self.background_watts * elapsed_s
+                + tech.access_energy_joules(bytes_moved))

@@ -1,0 +1,125 @@
+"""Result records for performance and energy evaluations.
+
+Everything the experiment harnesses report reduces to these records:
+per-stage timing/energy, whole-inference latency, and service-level
+throughput/efficiency.  Keeping them as dataclasses (instead of ad-hoc
+dicts) lets tests assert on named fields and benchmarks print uniform
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Timing/energy of one sum or gen stage on one device (or group)."""
+
+    name: str
+    time_s: float
+    flops: float
+    mem_bytes: float
+    comm_s: float = 0.0
+    energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0 or self.energy_j < 0:
+            raise ConfigurationError("stage time/energy cannot be negative")
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """End-to-end result of one inference request.
+
+    Attributes:
+        device_name: e.g. ``"A100-40G"`` or ``"CXL-PNM"``.
+        input_len / output_len: Request geometry.
+        sum_time_s: Summarization-stage latency.
+        gen_time_s: Total generation latency across all gen stages.
+        energy_j: Device energy for the request (per model instance).
+        mean_power_w: Average device power over the request.
+    """
+
+    device_name: str
+    input_len: int
+    output_len: int
+    sum_time_s: float
+    gen_time_s: float
+    energy_j: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.sum_time_s + self.gen_time_s
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Single-stream generation throughput."""
+        return self.output_len / self.latency_s
+
+    @property
+    def tokens_per_joule(self) -> float:
+        return self.output_len / self.energy_j if self.energy_j else 0.0
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.energy_j / self.latency_s if self.latency_s else 0.0
+
+    @property
+    def ms_per_token(self) -> float:
+        return 1e3 * self.latency_s / self.output_len
+
+
+@dataclass(frozen=True)
+class ApplianceResult:
+    """Aggregate behaviour of a multi-device appliance configuration.
+
+    Attributes:
+        name: Configuration label, e.g. ``"CXL-PNM DP=4 x MP=2"``.
+        num_devices: Devices in the appliance.
+        instances: Concurrent model instances (data-parallel streams).
+        per_request: The per-instance inference result.
+    """
+
+    name: str
+    num_devices: int
+    instances: int
+    per_request: InferenceResult
+
+    @property
+    def latency_s(self) -> float:
+        """Latency experienced by one request."""
+        return self.per_request.latency_s
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Appliance-level throughput across all concurrent instances."""
+        return self.instances * self.per_request.tokens_per_s
+
+    @property
+    def appliance_energy_j(self) -> float:
+        """Energy of all devices over one request's duration.
+
+        ``per_request.energy_j`` already covers every device serving one
+        instance (its whole model-parallel group).
+        """
+        return self.per_request.energy_j * self.instances
+
+    @property
+    def tokens_per_joule(self) -> float:
+        total_tokens = self.instances * self.per_request.output_len
+        return total_tokens / self.appliance_energy_j
+
+    @property
+    def appliance_power_w(self) -> float:
+        return self.appliance_energy_j / self.latency_s
+
+
+def relative_delta(value: float, baseline: float) -> float:
+    """Signed relative difference ``(value - baseline) / baseline``."""
+    if baseline == 0:
+        raise ConfigurationError("baseline must be non-zero")
+    return (value - baseline) / baseline

@@ -1,0 +1,116 @@
+"""Power-over-time traces for inference requests.
+
+Fig. 10's energy numbers integrate a power curve the paper measured; this
+module reconstructs that curve from the models: per-stage operating
+points (compute/bandwidth utilization -> watts) laid out on the request
+timeline.  Useful for energy audits ("where do the joules go?") and for
+plotting the sum-stage power spike followed by the long bandwidth-bound
+generation plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.llm.config import LLMConfig
+from repro.perf.analytical import DevicePerfModel, InferenceTimer
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One segment of the power timeline."""
+
+    t_start_s: float
+    t_end_s: float
+    watts: float
+    stage: str
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end_s - self.t_start_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.watts * self.duration_s
+
+
+@dataclass
+class PowerTrace:
+    """A request's power timeline plus summary statistics."""
+
+    samples: List[PowerSample]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(s.energy_j for s in self.samples)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.samples[-1].t_end_s if self.samples else 0.0
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_energy_j / self.total_time_s \
+            if self.total_time_s else 0.0
+
+    @property
+    def peak_power_w(self) -> float:
+        return max((s.watts for s in self.samples), default=0.0)
+
+    def energy_by_stage(self) -> Dict[str, float]:
+        """Joules per stage kind ('sum' vs 'gen')."""
+        breakdown: Dict[str, float] = {}
+        for sample in self.samples:
+            kind = sample.stage.split("@")[0]
+            breakdown[kind] = breakdown.get(kind, 0.0) + sample.energy_j
+        return breakdown
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Plot-ready rows."""
+        return [{"t_start_s": s.t_start_s, "t_end_s": s.t_end_s,
+                 "watts": s.watts, "stage": s.stage}
+                for s in self.samples]
+
+
+def power_trace(config: LLMConfig, model: DevicePerfModel, input_len: int,
+                output_len: int, tensor_parallel: int = 1,
+                max_segments: int = 64) -> PowerTrace:
+    """Build a request's power timeline from the analytical model.
+
+    Gen stages are grouped into at most ``max_segments`` segments (each
+    segment's power from its representative context length) so long
+    generations stay cheap to trace.
+    """
+    if input_len <= 0 or output_len <= 0:
+        raise ConfigurationError("token counts must be positive")
+    if max_segments < 1:
+        raise ConfigurationError("need at least one segment")
+    timer = InferenceTimer(config, model, tensor_parallel=tensor_parallel)
+    samples: List[PowerSample] = []
+    clock = 0.0
+
+    sum_r = timer.sum_stage(input_len)
+    samples.append(PowerSample(t_start_s=0.0, t_end_s=sum_r.time_s,
+                               watts=sum_r.energy_j / sum_r.time_s,
+                               stage="sum"))
+    clock = sum_r.time_s
+
+    gen_count = output_len - 1
+    if gen_count > 0:
+        contexts = np.arange(input_len + 1, input_len + output_len)
+        groups = np.array_split(contexts,
+                                min(max_segments, gen_count))
+        for group in groups:
+            mid = int(group[len(group) // 2])
+            stage = timer.gen_stage(mid)
+            duration = stage.time_s * len(group)
+            samples.append(PowerSample(
+                t_start_s=clock, t_end_s=clock + duration,
+                watts=stage.energy_j / stage.time_s,
+                stage=f"gen@{mid}"))
+            clock += duration
+    return PowerTrace(samples=samples)

@@ -1,0 +1,125 @@
+"""Roofline analysis helpers.
+
+The paper's whole argument is a roofline argument: gen-stage GEMVs sit at
+~1 FLOP/byte, far below any device's ridge point, so achieved performance
+is bandwidth x intensity and the right machine maximizes *memory
+bandwidth per dollar/watt*, not FLOPS.  This module produces
+plot-ready roofline data: device ceilings, ridge points, and operator
+scatter for a model's sum and gen stages on any device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.llm.config import LLMConfig
+from repro.llm.graph import gen_stage_ops, sum_stage_ops
+from repro.llm.ops import OpSpec
+from repro.perf.analytical import DevicePerfModel
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One device's roofline: compute ceiling and memory slope."""
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.peak_bandwidth <= 0:
+            raise ConfigurationError("roofline needs positive peaks")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOPs/byte at which the machine turns compute-bound."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        """Attainable FLOP/s at an arithmetic intensity (FLOPs/byte)."""
+        if intensity < 0:
+            raise ConfigurationError("intensity cannot be negative")
+        return min(self.peak_flops, intensity * self.peak_bandwidth)
+
+    def bound_of(self, intensity: float) -> str:
+        return "compute" if intensity >= self.ridge_intensity else "memory"
+
+    def curve(self, intensities: Sequence[float]) -> List[Dict[str, float]]:
+        """Plot-ready (intensity, attainable) pairs."""
+        return [{"intensity": float(i),
+                 "attainable_tflops": self.attainable_flops(i) / 1e12}
+                for i in intensities]
+
+
+def device_roofline(model: DevicePerfModel) -> Roofline:
+    """Roofline of any device performance model."""
+    return Roofline(name=model.name, peak_flops=model.peak_flops,
+                    peak_bandwidth=model.peak_bandwidth)
+
+
+def op_scatter(ops: Sequence[OpSpec], roofline: Roofline
+               ) -> List[Dict[str, float]]:
+    """Where each operator lands under a roofline (plot-ready rows)."""
+    rows = []
+    for op in ops:
+        intensity = op.arithmetic_intensity
+        rows.append({
+            "op": op.name,
+            "kind": op.kind.value,
+            "intensity": intensity,
+            "attainable_tflops": roofline.attainable_flops(intensity) / 1e12,
+            "bound": roofline.bound_of(intensity),
+        })
+    return rows
+
+
+def stage_intensity(config: LLMConfig, context_len: int,
+                    sum_stage: bool = False,
+                    input_len: int = 64) -> float:
+    """Aggregate arithmetic intensity of a stage (FLOPs/byte)."""
+    ops = sum_stage_ops(config, input_len) if sum_stage \
+        else gen_stage_ops(config, context_len)
+    flops = sum(op.flops for op in ops)
+    traffic = sum(op.total_bytes for op in ops)
+    return flops / traffic
+
+
+def roofline_report(config: LLMConfig, models: Sequence[DevicePerfModel],
+                    context_len: int = 576) -> List[Dict[str, object]]:
+    """Rows comparing devices on a model's sum and gen stages.
+
+    Shows the paper's crossover quantitatively: gen-stage intensity sits
+    below every ridge point (memory-bound everywhere -> bandwidth wins),
+    sum-stage intensity sits above small accelerators' ridge points
+    (compute-bound -> FLOPS win).
+    """
+    gen_i = stage_intensity(config, context_len)
+    sum_i = stage_intensity(config, context_len, sum_stage=True)
+    rows = []
+    for model in models:
+        roof = device_roofline(model)
+        rows.append({
+            "device": roof.name,
+            "ridge_intensity": roof.ridge_intensity,
+            "gen_intensity": gen_i,
+            "gen_bound": roof.bound_of(gen_i),
+            "gen_attainable_tflops":
+                roof.attainable_flops(gen_i) / 1e12,
+            "sum_intensity": sum_i,
+            "sum_bound": roof.bound_of(sum_i),
+            "sum_attainable_tflops":
+                roof.attainable_flops(sum_i) / 1e12,
+        })
+    return rows
+
+
+def log_intensity_grid(lo: float = 0.125, hi: float = 1024.0,
+                       points: int = 27) -> List[float]:
+    """A log-spaced intensity axis for roofline plots."""
+    if lo <= 0 or hi <= lo or points < 2:
+        raise ConfigurationError("bad intensity grid")
+    return [float(v) for v in np.geomspace(lo, hi, points)]

@@ -1,0 +1,207 @@
+"""Instruction-level timing simulator for the CXL-PNM accelerator.
+
+Schedules compiled acceleration code (the same
+:class:`~repro.accelerator.isa.Instruction` objects the functional
+executor runs) onto the accelerator's resources: the DMA engine, the PE
+array, the adder trees, and the VPU, with device-memory bandwidth shared
+among the units.  Dependencies come from register dataflow
+(read-after-write, and write-after-read/write serialization), so
+independent instructions on different units overlap — e.g. the weight
+stream of the next matmul behind the VPU work of the previous operator.
+
+This is the reproduction's analog of the paper's cycle-level simulator
+(§VII, validated to 0.5% against the FPGA prototype).  Our validation
+analog: tests assert agreement with the independent analytical model of
+:mod:`repro.perf.analytical` on full decoder stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.accelerator import isa
+from repro.accelerator.device import CXLPNMDevice
+from repro.errors import SimulationError
+import repro.perf.calibration as cal
+
+
+@dataclass
+class _ShapeTracker:
+    """Propagates register shapes through a program without executing it."""
+
+    shapes: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def get(self, reg: str) -> Tuple[int, ...]:
+        try:
+            return self.shapes[reg]
+        except KeyError:
+            raise SimulationError(f"shape of {reg} unknown at schedule time")
+
+    def elems(self, reg: str) -> int:
+        n = 1
+        for d in self.get(reg):
+            n *= d
+        return n
+
+    def update(self, instr: isa.Instruction) -> None:
+        s = self.shapes
+        if isinstance(instr, isa.DmaLoad):
+            s[instr.dst] = instr.shape
+        elif isinstance(instr, isa.DmaGather):
+            s[instr.dst] = (len(instr.indices), instr.row_elems)
+        elif isinstance(instr, isa.MpuMmPea):
+            s[instr.dst] = (instr.m, instr.n)
+            if isinstance(instr, isa.MpuMmRedumaxPea):
+                s[instr.rowmax_dst] = (instr.m, 1)
+        elif isinstance(instr, isa.MpuMv):
+            s[instr.dst] = (1, instr.n)
+        elif isinstance(instr, isa.MpuMaskedMm):
+            s[instr.dst] = (instr.heads, instr.m, instr.ctx)
+            if instr.rowmax_dst:
+                s[instr.rowmax_dst] = (instr.heads, instr.m, 1)
+        elif isinstance(instr, isa.MpuAttnContext):
+            s[instr.dst] = (instr.m, instr.heads * instr.head_dim)
+        elif isinstance(instr, isa.MpuConv2d):
+            oh, ow = instr.out_hw
+            s[instr.dst] = (instr.out_ch, oh, ow)
+        elif isinstance(instr, isa.MpuTranspose):
+            shape = self.get(instr.src)
+            s[instr.dst] = tuple(reversed(shape))
+        elif isinstance(instr, (isa.VpuAdd, isa.VpuMul)):
+            s[instr.dst] = self.get(instr.a)
+        elif isinstance(instr, (isa.VpuScale, isa.VpuGelu, isa.VpuSoftmax)):
+            s[instr.dst] = self.get(instr.src)
+        elif isinstance(instr, (isa.VpuBias, isa.VpuLayerNorm)):
+            s[instr.dst] = self.get(instr.src)
+        elif isinstance(instr, isa.VpuSlice):
+            shape = self.get(instr.src)
+            s[instr.dst] = shape[:-1] + (instr.stop - instr.start,)
+        elif isinstance(instr, isa.VpuRow):
+            shape = self.get(instr.src)
+            s[instr.dst] = (1,) + shape[1:]
+        elif isinstance(instr, isa.VpuArgmax):
+            s[instr.dst] = (1,)
+        elif isinstance(instr, isa.Free):
+            for reg in instr.regs:
+                s.pop(reg, None)
+
+
+@dataclass
+class SimulationResult:
+    """Schedule summary of one program run."""
+
+    total_time_s: float
+    instructions: int
+    unit_busy_s: Dict[isa.Unit, float]
+    mem_bytes: float
+    flops: float
+
+    def utilization(self, unit: isa.Unit) -> float:
+        if self.total_time_s == 0:
+            return 0.0
+        return self.unit_busy_s.get(unit, 0.0) / self.total_time_s
+
+    @property
+    def bandwidth_utilization_of(self) -> float:
+        return self.mem_bytes / self.total_time_s if self.total_time_s \
+            else 0.0
+
+
+class AcceleratorSimulator:
+    """List scheduler over the accelerator's units and memory bandwidth."""
+
+    def __init__(self, device: Optional[CXLPNMDevice] = None,
+                 dtype_bytes: int = 2):
+        self.device = device or CXLPNMDevice()
+        self.dtype_bytes = dtype_bytes
+        self._mpu = self.device.mpu_timing()
+        self._vpu = self.device.vpu_timing()
+        self._dma = self.device.dma_timing()
+        self._clock = self.device.spec.clock_hz
+        self._bw = self.device.effective_memory_bandwidth
+
+    def _duration(self, instr: isa.Instruction, shapes: _ShapeTracker
+                  ) -> Tuple[float, float]:
+        """(busy seconds on the instruction's unit, memory seconds)."""
+        mem_bytes = instr.mem_elems() * self.dtype_bytes
+        if self._mpu.gemm_via_tree:
+            # DFX-style GEMM-as-row-sweeps re-streams the memory operand
+            # once per activation row (see PnmPerfModel._matmul_time).
+            if isinstance(instr, isa.MpuMmPea):
+                mem_bytes *= instr.m
+            elif isinstance(instr, (isa.MpuMaskedMm, isa.MpuAttnContext)) \
+                    and instr.m > 1:
+                mem_bytes *= instr.m
+        mem_time = mem_bytes / self._bw
+        unit = instr.unit
+        if unit is isa.Unit.DMA:
+            if isinstance(instr, isa.DmaGather):
+                busy = self._dma.gather_time(
+                    len(instr.indices),
+                    instr.row_elems * self.dtype_bytes)
+            else:
+                busy = self._dma.transfer_time(mem_bytes)
+            return busy, busy
+        if unit in (isa.Unit.PE_ARRAY, isa.Unit.ADDER_TREE):
+            cycles = self._mpu.cycles(instr)
+            busy = max(cycles / self._clock, mem_time) \
+                + cal.PNM_INSTRUCTION_OVERHEAD_S
+            return busy, mem_time
+        if unit is isa.Unit.VPU:
+            out_elems = (shapes.elems(instr.writes()[0])
+                         if instr.writes() else 0)
+            cycles = self._vpu.cycles(instr, float(out_elems))
+            busy = max(cycles / self._clock, mem_time) \
+                + cal.PNM_INSTRUCTION_OVERHEAD_S
+            return busy, mem_time
+        return 0.0, 0.0  # control instructions
+
+    def run(self, program: Sequence[isa.Instruction]) -> SimulationResult:
+        """Schedule a program; returns makespan and per-unit busy time."""
+        isa.validate_program(tuple(program))
+        shapes = _ShapeTracker()
+        unit_free: Dict[isa.Unit, float] = {u: 0.0 for u in isa.Unit}
+        unit_busy: Dict[isa.Unit, float] = {u: 0.0 for u in isa.Unit}
+        mem_free = 0.0
+        reg_ready: Dict[str, float] = {}
+        reg_last_read: Dict[str, float] = {}
+        makespan = 0.0
+        total_mem = 0.0
+        total_flops = 0.0
+
+        for instr in program:
+            if isinstance(instr, isa.Barrier):
+                unit_free = {u: makespan for u in isa.Unit}
+                mem_free = makespan
+                continue
+            shapes.update(instr)
+            busy, mem_time = self._duration(instr, shapes)
+            ready = unit_free[instr.unit]
+            for reg in instr.reads():
+                ready = max(ready, reg_ready.get(reg, 0.0))
+            for reg in instr.writes():
+                # WAW / WAR serialization.
+                ready = max(ready, reg_ready.get(reg, 0.0),
+                            reg_last_read.get(reg, 0.0))
+            if mem_time > 0:
+                ready = max(ready, mem_free)
+            end = ready + busy
+            unit_free[instr.unit] = end
+            unit_busy[instr.unit] += busy
+            if mem_time > 0:
+                mem_free = ready + mem_time
+                total_mem += instr.mem_elems() * self.dtype_bytes
+            for reg in instr.reads():
+                reg_last_read[reg] = max(reg_last_read.get(reg, 0.0), end)
+            for reg in instr.writes():
+                reg_ready[reg] = end
+            total_flops += instr.flops()
+            makespan = max(makespan, end)
+
+        return SimulationResult(
+            total_time_s=makespan,
+            instructions=len(program),
+            unit_busy_s=unit_busy,
+            mem_bytes=total_mem,
+            flops=total_flops)

@@ -1,0 +1,21 @@
+"""The CXL-PNM software stack: driver, Python library, sessions."""
+
+from repro.runtime.driver import (
+    CompletionMode,
+    CxlPnmDriver,
+    InterruptController,
+)
+from repro.runtime.library import CxlPnmLibrary, PnmTensor
+from repro.runtime.session import GenerationTrace, InferenceSession
+from repro.runtime.tensor_parallel import TensorParallelSession
+
+__all__ = [
+    "CompletionMode",
+    "CxlPnmDriver",
+    "CxlPnmLibrary",
+    "GenerationTrace",
+    "InferenceSession",
+    "InterruptController",
+    "PnmTensor",
+    "TensorParallelSession",
+]

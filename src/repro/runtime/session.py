@@ -1,0 +1,158 @@
+"""End-to-end inference sessions on the simulated CXL-PNM device.
+
+An :class:`InferenceSession` is the user experience the paper's software
+stack promises: load a Python-defined model into CXL memory once, then
+call ``generate`` — each stage compiles to acceleration code, runs
+through the driver (instruction buffer, launch, interrupt/poll, output
+buffer), and optionally accumulates *simulated device time* from the
+timing simulator, so a session reports both the generated tokens and the
+latency the real card would have taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.accelerator.compiler import ModelLayout, StageCompiler, load_model
+from repro.accelerator.device import CXLPNMDevice
+from repro.accelerator.memory import DeviceMemory
+from repro.errors import CapacityError, ConfigurationError
+from repro.llm.reference import ModelWeights
+from repro.perf.simulator import AcceleratorSimulator
+from repro.runtime.driver import CompletionMode, CxlPnmDriver
+from repro.units import MiB
+
+
+@dataclass
+class GenerationTrace:
+    """What one ``generate`` call did and how long the device would take."""
+
+    tokens: List[int] = field(default_factory=list)
+    stage_times_s: List[float] = field(default_factory=list)
+    instructions: int = 0
+
+    @property
+    def sum_time_s(self) -> float:
+        return self.stage_times_s[0] if self.stage_times_s else 0.0
+
+    @property
+    def gen_time_s(self) -> float:
+        return sum(self.stage_times_s[1:])
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self.stage_times_s)
+
+
+class InferenceSession:
+    """Generate text with a model resident in CXL-PNM device memory."""
+
+    def __init__(self, weights: ModelWeights,
+                 memory_bytes: Optional[int] = None,
+                 completion_mode: CompletionMode = CompletionMode.INTERRUPT,
+                 simulate_timing: bool = True,
+                 device: Optional[CXLPNMDevice] = None):
+        config = weights.config
+        if memory_bytes is None:
+            # Parameters + caches + buffers, with fp32 functional storage
+            # and allocator slack.
+            need = (config.param_bytes * 2
+                    + 2 * config.num_layers * config.max_seq_len
+                    * config.d_model * 4
+                    + config.max_seq_len * config.d_model * 4)
+            memory_bytes = int(need * 1.25) + 4 * MiB
+        self.config = config
+        self.memory = DeviceMemory(memory_bytes)
+        self.driver = CxlPnmDriver(self.memory,
+                                   completion_mode=completion_mode)
+        self.layout: ModelLayout = load_model(self.memory, weights)
+        self.compiler = StageCompiler(self.layout)
+        self.simulator = AcceleratorSimulator(device or CXLPNMDevice()) \
+            if simulate_timing else None
+        self._context_len = 0
+        self._interrupts_seen = 0
+        self.driver.interrupts.register_isr(self._on_interrupt)
+
+    def _on_interrupt(self) -> None:
+        self._interrupts_seen += 1
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently held in the device-side KV cache.
+
+        Counts every token *processed* by a stage; the final token of a
+        generation is emitted but not fed back, so it is not cached.
+        """
+        return self._context_len
+
+    @property
+    def interrupts_seen(self) -> int:
+        return self._interrupts_seen
+
+    def reset(self) -> None:
+        """Forget the conversation (KV cache is overwritten next time)."""
+        self._context_len = 0
+
+    def _run_stage(self, code, trace: GenerationTrace) -> int:
+        self.driver.program(code)
+        if self.driver.completion_mode is CompletionMode.POLLING:
+            self.driver.launch()
+            self.driver.wait()
+        else:
+            self.driver.launch()
+        self.driver.acknowledge()
+        trace.instructions += len(code)
+        if self.simulator is not None:
+            trace.stage_times_s.append(self.simulator.run(code).total_time_s)
+        token = int(self.memory.read_tensor(
+            self.layout.output_region.addr, (1,))[0])
+        return token
+
+    def generate(self, prompt: Sequence[int], num_tokens: int
+                 ) -> GenerationTrace:
+        """Greedy-decode ``num_tokens`` tokens after ``prompt``.
+
+        Runs one sum stage over the prompt and ``num_tokens - 1`` gen
+        stages, mirroring :meth:`repro.llm.reference.ReferenceModel.
+        generate` exactly (tests assert token equality).
+        """
+        self.reset()
+        return self.extend(prompt, num_tokens)
+
+    def extend(self, prompt: Sequence[int], num_tokens: int
+               ) -> GenerationTrace:
+        """Continue the conversation: append ``prompt`` to the live KV
+        context (a multi-token stage) and greedy-decode ``num_tokens``.
+
+        This is the multi-turn chat path: the device-side KV cache from
+        earlier turns stays resident in CXL memory, so each turn only
+        processes its new tokens — the capacity advantage §II-A promises.
+        """
+        if num_tokens <= 0:
+            raise ConfigurationError("num_tokens must be positive")
+        if not prompt:
+            raise ConfigurationError("prompt must be non-empty")
+        total = self._context_len + len(prompt) + num_tokens
+        if total > self.config.max_seq_len:
+            raise CapacityError(
+                f"{self._context_len} cached + {len(prompt)} prompt + "
+                f"{num_tokens} generated tokens exceed max_seq_len="
+                f"{self.config.max_seq_len}")
+        trace = GenerationTrace()
+        code = self.compiler.compile_stage(list(prompt),
+                                           ctx_prev=self._context_len)
+        token = self._run_stage(code, trace)
+        trace.tokens.append(token)
+        self._context_len += len(prompt)
+        for _ in range(num_tokens - 1):
+            self._context_len += 1
+            code = self.compiler.compile_gen_stage(
+                trace.tokens[-1], context_len=self._context_len)
+            token = self._run_stage(code, trace)
+            trace.tokens.append(token)
+        # context_len counts KV-cache rows: every processed token.  The
+        # final generated token was never fed back, so it is not cached;
+        # include it in the next turn's prompt if it belongs to the
+        # conversation.
+        return trace

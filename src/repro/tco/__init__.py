@@ -1,0 +1,18 @@
+"""TCO models: energy integration and cost/CO2 accounting (Table III)."""
+
+from repro.tco.cost import (
+    CO2_KG_PER_KWH,
+    ELECTRICITY_USD_PER_KWH,
+    CostSummary,
+    cost_summary,
+)
+from repro.tco.energy import DailyOperation, daily_operation
+
+__all__ = [
+    "CO2_KG_PER_KWH",
+    "CostSummary",
+    "DailyOperation",
+    "ELECTRICITY_USD_PER_KWH",
+    "cost_summary",
+    "daily_operation",
+]

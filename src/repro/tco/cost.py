@@ -1,0 +1,77 @@
+"""Hardware/operating cost and CO2 model (paper §VIII-B, Table III).
+
+The paper compares appliances on hardware cost (device prices only),
+operating cost (electricity at Idaho's 10.35 c/kWh, the cheapest U.S.
+rate it cites), and CO2 emission proportional to the consumed energy.
+Table III's numbers imply a grid carbon intensity of ~0.057 kg/kWh
+(Idaho's hydro-heavy grid), which we adopt as the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tco.energy import DailyOperation
+
+#: Idaho electricity price the paper uses (USD per kWh).
+ELECTRICITY_USD_PER_KWH = 0.1035
+
+#: Grid carbon intensity implied by Table III (kg CO2 per kWh).
+CO2_KG_PER_KWH = 2.46 / 43.2
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """One Table III column."""
+
+    name: str
+    hardware_cost_usd: float
+    tokens_per_day: float
+    kwh_per_day: float
+    electricity_usd_per_kwh: float = ELECTRICITY_USD_PER_KWH
+    co2_kg_per_kwh: float = CO2_KG_PER_KWH
+
+    def __post_init__(self) -> None:
+        if self.hardware_cost_usd < 0:
+            raise ConfigurationError("hardware cost cannot be negative")
+
+    @property
+    def operating_cost_usd_per_day(self) -> float:
+        return self.kwh_per_day * self.electricity_usd_per_kwh
+
+    @property
+    def co2_kg_per_day(self) -> float:
+        return self.kwh_per_day * self.co2_kg_per_kwh
+
+    @property
+    def cost_efficiency_tokens_per_usd(self) -> float:
+        """Tokens per operating dollar (Table III's 'cost efficiency')."""
+        cost = self.operating_cost_usd_per_day
+        return self.tokens_per_day / cost if cost else 0.0
+
+    @property
+    def co2_efficiency_tokens_per_kg(self) -> float:
+        co2 = self.co2_kg_per_day
+        return self.tokens_per_day / co2 if co2 else 0.0
+
+    def amortized_cost_per_day(self, lifetime_years: float = 3.0) -> float:
+        """Hardware amortization + electricity, the full TCO view."""
+        if lifetime_years <= 0:
+            raise ConfigurationError("lifetime must be positive")
+        amortized_hw = self.hardware_cost_usd / (lifetime_years * 365.0)
+        return amortized_hw + self.operating_cost_usd_per_day
+
+    def tco_tokens_per_usd(self, lifetime_years: float = 3.0) -> float:
+        """Tokens per total dollar including amortized hardware."""
+        return self.tokens_per_day / self.amortized_cost_per_day(
+            lifetime_years)
+
+
+def cost_summary(operation: DailyOperation, hardware_cost_usd: float
+                 ) -> CostSummary:
+    """Assemble a Table III column from a daily operation projection."""
+    return CostSummary(name=operation.name,
+                       hardware_cost_usd=hardware_cost_usd,
+                       tokens_per_day=operation.tokens_per_day,
+                       kwh_per_day=operation.kwh_per_day)

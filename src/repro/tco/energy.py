@@ -1,0 +1,50 @@
+"""Energy accounting for inference services.
+
+Converts appliance power/throughput into the daily operating quantities
+Table III reports: tokens/day, kWh/day, and the derived efficiency
+metrics.  A service is modelled as running the appliance continuously at
+its steady-state operating point (the paper's Table III does the same:
+throughput x 86,400 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.perf.metrics import ApplianceResult
+from repro.units import KILOWATT_HOUR, SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class DailyOperation:
+    """One appliance's steady-state daily operation."""
+
+    name: str
+    tokens_per_day: float
+    kwh_per_day: float
+
+    def __post_init__(self) -> None:
+        if self.tokens_per_day < 0 or self.kwh_per_day < 0:
+            raise ConfigurationError("daily quantities cannot be negative")
+
+    @property
+    def tokens_per_kwh(self) -> float:
+        return self.tokens_per_day / self.kwh_per_day if self.kwh_per_day \
+            else 0.0
+
+
+def daily_operation(result: ApplianceResult,
+                    duty_cycle: float = 1.0) -> DailyOperation:
+    """Project an appliance result to continuous daily operation.
+
+    ``duty_cycle`` scales both tokens and energy for services that do not
+    run saturated around the clock.
+    """
+    if not 0.0 < duty_cycle <= 1.0:
+        raise ConfigurationError(f"duty_cycle {duty_cycle} not in (0, 1]")
+    seconds = SECONDS_PER_DAY * duty_cycle
+    tokens = result.throughput_tokens_per_s * seconds
+    energy_j = result.appliance_power_w * seconds
+    return DailyOperation(name=result.name, tokens_per_day=tokens,
+                          kwh_per_day=energy_j / KILOWATT_HOUR)

@@ -1,0 +1,76 @@
+"""Unit constants and conversion helpers.
+
+The memory industry mixes decimal (GB = 1e9) and binary (GiB = 2**30) units
+freely; the paper does too (e.g. "326 GB" for GPT-3.5 is 175e9 params x 2
+bytes expressed in GiB).  This module pins down one explicit constant per
+unit so the rest of the library never multiplies bare powers of ten.
+
+All bandwidths in this library are bytes/second, all capacities bytes, all
+times seconds, all energies joules, unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) byte units -- used for bandwidth and marketing capacities.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+# Binary byte units -- used for real storage footprints.
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+# Bit-rate units.
+Kbps = 10**3
+Mbps = 10**6
+Gbps = 10**9
+
+# Time units (seconds).
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+# Frequency units (hertz).
+MHZ = 10**6
+GHZ = 10**9
+
+# Power/energy helpers.
+WATT = 1.0
+KILOWATT = 10**3
+JOULE = 1.0
+KILOWATT_HOUR = 3.6e6  # joules per kWh
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert a per-pin data rate in Gbit/s to bytes/second."""
+    return gbps * Gbps / 8.0
+
+
+def bytes_to_gib(num_bytes: float) -> float:
+    """Express a byte count in binary gibibytes (GiB)."""
+    return num_bytes / GiB
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Express a byte count in decimal gigabytes (GB)."""
+    return num_bytes / GB
+
+
+def bytes_per_s_to_gb_per_s(rate: float) -> float:
+    """Express a bandwidth in decimal GB/s."""
+    return rate / GB
+
+
+def bytes_per_s_to_tb_per_s(rate: float) -> float:
+    """Express a bandwidth in decimal TB/s."""
+    return rate / TB
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / KILOWATT_HOUR

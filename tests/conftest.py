@@ -1,0 +1,39 @@
+"""Shared fixtures: tiny models, devices, and loaded sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import CXLPNMDevice, DeviceMemory, load_model
+from repro.llm import ReferenceModel, random_weights, tiny_config
+from repro.units import MiB
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg():
+    return tiny_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_weights(tiny_cfg):
+    return random_weights(tiny_cfg, seed=7)
+
+
+@pytest.fixture(scope="session")
+def reference_model(tiny_weights):
+    return ReferenceModel(tiny_weights)
+
+
+@pytest.fixture()
+def device_memory():
+    return DeviceMemory(64 * MiB)
+
+
+@pytest.fixture()
+def loaded_layout(device_memory, tiny_weights):
+    return load_model(device_memory, tiny_weights)
+
+
+@pytest.fixture(scope="session")
+def pnm_device():
+    return CXLPNMDevice()

@@ -1,0 +1,80 @@
+"""Control unit: registers, instruction buffer, status machine."""
+
+import pytest
+
+from repro.accelerator import ControlRegister, ControlUnit, Status, isa
+from repro.errors import DriverError
+
+
+def _nop_program():
+    return (isa.DmaLoad(dst="m0", addr=0, shape=(1,)), isa.Barrier())
+
+
+class TestRegisters:
+    def test_write_read_roundtrip(self):
+        cu = ControlUnit()
+        cu.write_register(ControlRegister.NUM_LAYERS, 40)
+        assert cu.read_register(ControlRegister.NUM_LAYERS) == 40
+
+    def test_values_are_32_bit(self):
+        cu = ControlUnit()
+        cu.write_register(ControlRegister.MODEL_BASE_ADDR, (1 << 40) + 5)
+        assert cu.read_register(ControlRegister.MODEL_BASE_ADDR) == 5
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(DriverError):
+            ControlUnit().write_register(ControlRegister.NUM_LAYERS, -1)
+
+    def test_exactly_ten_registers(self):
+        # §VI: "ten 32-bit registers".
+        assert len(ControlRegister) == 10
+
+    def test_int_register_index_accepted(self):
+        cu = ControlUnit()
+        cu.write_register(0, 7)
+        assert cu.read_register(0) == 7
+
+
+class TestInstructionBuffer:
+    def test_program_and_readback(self):
+        cu = ControlUnit()
+        program = _nop_program()
+        cu.program(program)
+        assert cu.instruction_buffer == program
+        assert cu.read_register(ControlRegister.INSTRUCTION_COUNT) == 2
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DriverError):
+            ControlUnit().program(())
+
+    def test_unprogrammed_buffer_raises(self):
+        with pytest.raises(DriverError):
+            _ = ControlUnit().instruction_buffer
+
+    def test_oversized_program_rejected(self):
+        cu = ControlUnit(max_instructions=1)
+        with pytest.raises(DriverError):
+            cu.program(_nop_program())
+
+    def test_invalid_program_rejected_at_program_time(self):
+        bad = (isa.VpuGelu(dst="m1", src="m0"),)
+        with pytest.raises(Exception):
+            ControlUnit().program(bad)
+
+    def test_cannot_program_while_running(self):
+        cu = ControlUnit()
+        cu.program(_nop_program())
+        cu.set_status(Status.RUNNING)
+        with pytest.raises(DriverError):
+            cu.program(_nop_program())
+
+
+class TestStatus:
+    def test_initial_idle(self):
+        assert ControlUnit().status is Status.IDLE
+
+    def test_interrupt_enable_flag(self):
+        cu = ControlUnit()
+        assert not cu.interrupts_enabled
+        cu.write_register(ControlRegister.INTERRUPT_ENABLE, 1)
+        assert cu.interrupts_enabled

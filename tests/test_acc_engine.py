@@ -1,0 +1,291 @@
+"""Functional executor: per-instruction semantics vs numpy."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DeviceMemory, Executor, isa
+from repro.errors import ExecutionError
+from repro.llm.reference import gelu, layernorm, softmax
+from repro.units import MiB
+
+
+@pytest.fixture()
+def env():
+    mem = DeviceMemory(8 * MiB)
+    return mem, Executor(mem)
+
+
+def _store(mem, name, arr):
+    return mem.store_named(name, np.asarray(arr, dtype=np.float32))
+
+
+class TestDma:
+    def test_load_store_roundtrip(self, env):
+        mem, ex = env
+        src = _store(mem, "src", np.arange(6).reshape(2, 3))
+        dst = mem.alloc_tensor("dst", (2, 3))
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=src.addr, shape=(2, 3)),
+            isa.DmaStore(src="m0", addr=dst.addr, shape=(2, 3)),
+        ])
+        np.testing.assert_array_equal(mem.read_tensor(dst.addr, (2, 3)),
+                                      np.arange(6).reshape(2, 3))
+
+    def test_gather(self, env):
+        mem, ex = env
+        table = np.arange(20, dtype=np.float32).reshape(5, 4)
+        region = _store(mem, "table", table)
+        ex.execute([isa.DmaGather(dst="m0", table_addr=region.addr,
+                                  row_elems=4, indices=(3, 0, 3))])
+        np.testing.assert_array_equal(ex.registers.read("m0"),
+                                      table[[3, 0, 3]])
+
+
+class TestMatmuls:
+    def test_mv_matches_numpy(self, env):
+        mem, ex = env
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((8, 5)).astype(np.float32)
+        x = rng.standard_normal((1, 8)).astype(np.float32)
+        wr = _store(mem, "w", w)
+        xr = _store(mem, "x", x)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(1, 8)),
+            isa.MpuMv(dst="m1", act="m0", weight_addr=wr.addr, k=8, n=5),
+        ])
+        np.testing.assert_array_equal(ex.registers.read("m1"), x @ w)
+
+    def test_mm_pea_matches_numpy(self, env):
+        mem, ex = env
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((6, 7)).astype(np.float32)
+        x = rng.standard_normal((3, 6)).astype(np.float32)
+        wr, xr = _store(mem, "w", w), _store(mem, "x", x)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(3, 6)),
+            isa.MpuMmPea(dst="m1", act="m0", weight_addr=wr.addr,
+                         m=3, k=6, n=7),
+        ])
+        np.testing.assert_array_equal(ex.registers.read("m1"), x @ w)
+
+    def test_redumax_writes_row_maxima(self, env):
+        mem, ex = env
+        w = np.eye(4, dtype=np.float32)
+        x = np.array([[1, 5, 2, 0], [9, 3, 3, 3]], dtype=np.float32)
+        wr, xr = _store(mem, "w", w), _store(mem, "x", x)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 4)),
+            isa.MpuMmRedumaxPea(dst="m1", act="m0", weight_addr=wr.addr,
+                                m=2, k=4, n=4, rowmax_dst="v0"),
+        ])
+        np.testing.assert_array_equal(
+            ex.registers.read("v0").ravel(), [5.0, 9.0])
+
+    def test_shape_mismatch_raises(self, env):
+        mem, ex = env
+        xr = _store(mem, "x", np.zeros((2, 4)))
+        with pytest.raises(ExecutionError):
+            ex.execute([
+                isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 4)),
+                isa.MpuMmPea(dst="m1", act="m0", weight_addr=0, m=3, k=4,
+                             n=2),
+            ])
+
+
+class TestAttention:
+    def _setup(self, mem, heads, hd, ctx, m, seed=2):
+        rng = np.random.default_rng(seed)
+        d = heads * hd
+        q = rng.standard_normal((m, d)).astype(np.float32)
+        k = rng.standard_normal((ctx, d)).astype(np.float32)
+        v = rng.standard_normal((ctx, d)).astype(np.float32)
+        return (q, k, v, _store(mem, "q", q), _store(mem, "k", k),
+                _store(mem, "v", v))
+
+    def test_masked_scores_match_reference_math(self, env):
+        mem, ex = env
+        heads, hd, ctx, m = 2, 4, 5, 3
+        q, k, v, qr, kr, vr = self._setup(mem, heads, hd, ctx, m)
+        scale = 0.5
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=qr.addr, shape=(m, heads * hd)),
+            isa.MpuMaskedMm(dst="m1", q="m0", k_addr=kr.addr, heads=heads,
+                            head_dim=hd, ctx=ctx, m=m, scale=scale,
+                            mask_offset=2),
+        ])
+        scores = ex.registers.read("m1")
+        from repro.llm.reference import causal_mask
+        mask = causal_mask(m, ctx, 2)
+        for h in range(heads):
+            sl = slice(h * hd, (h + 1) * hd)
+            expect = (q[:, sl] @ k[:, sl].T) * np.float32(scale)
+            expect = np.where(mask, expect, np.float32(-1e9))
+            np.testing.assert_array_equal(scores[h], expect)
+
+    def test_context_concatenates_heads(self, env):
+        mem, ex = env
+        heads, hd, ctx, m = 2, 3, 4, 2
+        q, k, v, qr, kr, vr = self._setup(mem, heads, hd, ctx, m)
+        probs = softmax(np.random.default_rng(3).standard_normal(
+            (heads, m, ctx)).astype(np.float32))
+        pr = _store(mem, "p", probs)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=pr.addr, shape=(heads, m, ctx)),
+            isa.MpuAttnContext(dst="m1", probs="m0", v_addr=vr.addr,
+                               heads=heads, head_dim=hd, ctx=ctx, m=m),
+        ])
+        out = ex.registers.read("m1")
+        for h in range(heads):
+            sl = slice(h * hd, (h + 1) * hd)
+            np.testing.assert_allclose(out[:, sl], probs[h] @ v[:, sl],
+                                       rtol=1e-6)
+
+
+class TestVpu:
+    def test_gelu_softmax_layernorm_match_reference(self, env):
+        mem, ex = env
+        x = np.random.default_rng(4).standard_normal((3, 8)).astype(
+            np.float32)
+        g = np.full(8, 1.5, dtype=np.float32)
+        b = np.full(8, -0.5, dtype=np.float32)
+        xr, gr, br = _store(mem, "x", x), _store(mem, "g", g), \
+            _store(mem, "b", b)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(3, 8)),
+            isa.VpuGelu(dst="m1", src="m0"),
+            isa.VpuSoftmax(dst="m2", src="m0"),
+            isa.VpuLayerNorm(dst="m3", src="m0", gamma_addr=gr.addr,
+                             beta_addr=br.addr, n=8),
+        ])
+        np.testing.assert_array_equal(ex.registers.read("m1"), gelu(x))
+        np.testing.assert_array_equal(ex.registers.read("m2"), softmax(x))
+        np.testing.assert_array_equal(ex.registers.read("m3"),
+                                      layernorm(x, g, b))
+
+    def test_softmax_with_precomputed_max_equals_plain(self, env):
+        mem, ex = env
+        x = np.random.default_rng(5).standard_normal((2, 6)).astype(
+            np.float32)
+        xr = _store(mem, "x", x)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 6)),
+            isa.VpuSoftmax(dst="m1", src="m0"),
+        ])
+        plain = ex.registers.read("m1").copy()
+        ex2 = Executor(mem, None)
+        w = np.eye(6, dtype=np.float32)
+        wr = _store(mem, "eye", w)
+        ex2.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 6)),
+            isa.MpuMmRedumaxPea(dst="m2", act="m0", weight_addr=wr.addr,
+                                m=2, k=6, n=6, rowmax_dst="v0"),
+            isa.VpuSoftmax(dst="m1", src="m2", rowmax="v0"),
+        ])
+        np.testing.assert_array_equal(ex2.registers.read("m1"), plain)
+
+    def test_slice_row_argmax(self, env):
+        mem, ex = env
+        x = np.array([[1, 9, 2, 4], [7, 0, 3, 8]], dtype=np.float32)
+        xr = _store(mem, "x", x)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 4)),
+            isa.VpuSlice(dst="m1", src="m0", start=1, stop=3),
+            isa.VpuRow(dst="m2", src="m0", row=-1),
+            isa.VpuArgmax(dst="s0", src="m0"),
+        ])
+        np.testing.assert_array_equal(ex.registers.read("m1"), x[:, 1:3])
+        np.testing.assert_array_equal(ex.registers.read("m2"), x[1:2])
+        assert int(ex.registers.read("s0")[0]) == 3  # argmax of last row
+
+    def test_scale_add_mul_bias(self, env):
+        mem, ex = env
+        a = np.array([[1.0, 2.0]], dtype=np.float32)
+        b = np.array([[3.0, 5.0]], dtype=np.float32)
+        bias = np.array([10.0, 20.0], dtype=np.float32)
+        ar, br_, biasr = _store(mem, "a", a), _store(mem, "b", b), \
+            _store(mem, "bias", bias)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=ar.addr, shape=(1, 2)),
+            isa.DmaLoad(dst="m1", addr=br_.addr, shape=(1, 2)),
+            isa.VpuAdd(dst="m2", a="m0", b="m1"),
+            isa.VpuMul(dst="m3", a="m0", b="m1"),
+            isa.VpuScale(dst="m4", src="m0", constant=2.0),
+            isa.VpuBias(dst="m5", src="m0", bias_addr=biasr.addr, n=2),
+        ])
+        np.testing.assert_array_equal(ex.registers.read("m2"), a + b)
+        np.testing.assert_array_equal(ex.registers.read("m3"), a * b)
+        np.testing.assert_array_equal(ex.registers.read("m4"), a * 2)
+        np.testing.assert_array_equal(ex.registers.read("m5"), a + bias)
+
+
+class TestConv2d:
+    def test_conv_matches_direct_convolution(self, env):
+        mem, ex = env
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 2, 2)).astype(np.float32)
+        xr, wr = _store(mem, "x", x), _store(mem, "w", w)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 5, 5)),
+            isa.MpuConv2d(dst="m1", act="m0", weight_addr=wr.addr,
+                          in_ch=2, out_ch=3, kh=2, kw=2, h=5, w=5),
+        ])
+        out = ex.registers.read("m1")
+        expect = np.zeros((3, 4, 4), dtype=np.float32)
+        for o in range(3):
+            for i in range(4):
+                for j in range(4):
+                    expect[o, i, j] = np.sum(
+                        x[:, i:i + 2, j:j + 2] * w[o])
+        np.testing.assert_allclose(out, expect, rtol=1e-5, atol=1e-6)
+
+    def test_conv_gelu_fusion(self, env):
+        mem, ex = env
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 2, 2)).astype(np.float32)
+        xr, wr = _store(mem, "x", x), _store(mem, "w", w)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(1, 4, 4)),
+            isa.MpuConv2d(dst="m1", act="m0", weight_addr=wr.addr,
+                          in_ch=1, out_ch=1, kh=2, kw=2, h=4, w=4),
+            isa.MpuConv2d(dst="m2", act="m0", weight_addr=wr.addr,
+                          in_ch=1, out_ch=1, kh=2, kw=2, h=4, w=4,
+                          gelu=True),
+        ])
+        plain = ex.registers.read("m1")
+        fused = ex.registers.read("m2")
+        np.testing.assert_allclose(fused, gelu(plain), rtol=1e-6)
+
+
+class TestTransposeAndStats:
+    def test_transpose(self, env):
+        mem, ex = env
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        xr = _store(mem, "x", x)
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 3)),
+            isa.MpuTranspose(dst="m1", src="m0"),
+        ])
+        np.testing.assert_array_equal(ex.registers.read("m1"), x.T)
+
+    def test_stats_accumulate(self, env):
+        mem, ex = env
+        xr = _store(mem, "x", np.zeros((2, 2)))
+        stats = ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 2)),
+            isa.VpuGelu(dst="m1", src="m0"),
+            isa.Free(regs=("m0", "m1")),
+        ])
+        assert stats.instructions == 3
+        assert stats.by_opcode["DMA_LOAD"] == 1
+        assert stats.mem_elems >= 4
+
+    def test_free_releases_registers(self, env):
+        mem, ex = env
+        xr = _store(mem, "x", np.zeros((2, 2)))
+        ex.execute([
+            isa.DmaLoad(dst="m0", addr=xr.addr, shape=(2, 2)),
+            isa.Free(regs=("m0",)),
+        ])
+        assert "m0" not in ex.registers

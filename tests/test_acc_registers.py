@@ -1,0 +1,92 @@
+"""Register files: naming, capacity accounting, allocator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import RegisterAllocator, RegisterFileState, bank_of
+from repro.errors import AllocationError, IsaError
+
+
+class TestNaming:
+    @pytest.mark.parametrize("name,bank", [("m0", "m"), ("v12", "v"),
+                                           ("s3", "s")])
+    def test_bank_of(self, name, bank):
+        assert bank_of(name) == bank
+
+    @pytest.mark.parametrize("bad", ["x0", "m", "3m", "mm1", ""])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(IsaError):
+            bank_of(bad)
+
+
+class TestAllocator:
+    def test_fresh_names_unique(self):
+        regs = RegisterAllocator()
+        names = {regs.matrix() for _ in range(10)}
+        assert len(names) == 10
+
+    def test_banks_independent(self):
+        regs = RegisterAllocator()
+        assert regs.matrix() == "m0"
+        assert regs.vector() == "v0"
+        assert regs.scalar() == "s0"
+        assert regs.matrix() == "m1"
+
+    def test_unknown_bank(self):
+        with pytest.raises(IsaError):
+            RegisterAllocator().fresh("q")
+
+
+class TestCapacity:
+    def test_write_charges_bank(self):
+        rf = RegisterFileState(matrix_bytes=1024, logical_scale=1.0)
+        rf.write("m0", np.zeros(128, dtype=np.float32))
+        assert rf.used_bytes("m") == 512
+
+    def test_overflow_raises(self):
+        rf = RegisterFileState(matrix_bytes=256, logical_scale=1.0)
+        with pytest.raises(AllocationError):
+            rf.write("m0", np.zeros(128, dtype=np.float32))
+
+    def test_overwrite_releases_old_bytes(self):
+        rf = RegisterFileState(matrix_bytes=1024, logical_scale=1.0)
+        rf.write("m0", np.zeros(200, dtype=np.float32))
+        rf.write("m0", np.zeros(10, dtype=np.float32))
+        assert rf.used_bytes("m") == 40
+
+    def test_free_releases(self):
+        rf = RegisterFileState(matrix_bytes=1024, logical_scale=1.0)
+        rf.write("m0", np.zeros(64, dtype=np.float32))
+        rf.free("m0")
+        assert rf.used_bytes("m") == 0
+        assert "m0" not in rf
+
+    def test_free_idempotent(self):
+        rf = RegisterFileState()
+        rf.free("m5")  # never written; must not raise
+
+    def test_logical_scale_halves_fp32_footprint(self):
+        rf = RegisterFileState(matrix_bytes=256, logical_scale=0.5)
+        rf.write("m0", np.zeros(128, dtype=np.float32))  # 512B fp32, 256 fp16
+        assert rf.used_bytes("m") == 256
+
+    def test_read_before_write_raises(self):
+        with pytest.raises(IsaError):
+            RegisterFileState().read("m0")
+
+    def test_banks_isolated(self):
+        rf = RegisterFileState(matrix_bytes=64, vector_bytes=8192,
+                               logical_scale=1.0)
+        rf.write("v0", np.zeros(1024, dtype=np.float32))
+        with pytest.raises(AllocationError):
+            rf.write("m0", np.zeros(1024, dtype=np.float32))
+
+    def test_live_registers_iterates(self):
+        rf = RegisterFileState()
+        rf.write("m0", np.zeros(4, dtype=np.float32))
+        rf.write("s1", np.zeros(1, dtype=np.float32))
+        assert set(rf.live_registers()) == {"m0", "s1"}
+
+    def test_unknown_bank_query(self):
+        with pytest.raises(IsaError):
+            RegisterFileState().used_bytes("z")

@@ -1,0 +1,145 @@
+"""MPU/VPU/DMA timing models and the accelerator spec (Table II)."""
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSpec,
+    CXLPNMDevice,
+    DmaTiming,
+    MpuTiming,
+    VpuTiming,
+    isa,
+)
+from repro.errors import SimulationError
+from repro.units import MiB
+
+
+class TestAcceleratorSpec:
+    def test_pe_array_peak_matches_table2(self):
+        spec = AcceleratorSpec()
+        assert spec.peak_gemm_flops == pytest.approx(4.096e12)
+
+    def test_adder_tree_peak_matches_table2(self):
+        spec = AcceleratorSpec()
+        assert spec.peak_gemv_flops == pytest.approx(4.096e12)
+
+    def test_table2_render_matches_paper(self):
+        table = CXLPNMDevice().table2()
+        assert table["num_pes"] == 2048
+        assert table["adder_tree_multipliers"] == 2048
+        assert table["adder_tree_adders"] == 2032
+        assert table["register_file_mb"] == 63
+        assert table["dma_buffer_mb"] == 1
+        assert table["dram_io_width"] == 1024
+        assert table["sram_io_width"] == 16384
+        assert table["technology_nm"] == 7
+        assert table["frequency_ghz"] == 1.0
+        assert table["platform_max_watts"] == 150.0
+
+
+class TestMpuTiming:
+    def test_gemm_cycles_scale_with_work(self):
+        mpu = MpuTiming()
+        small = mpu.gemm_cycles(64, 128, 128)
+        big = mpu.gemm_cycles(64, 128, 1280)
+        assert big > 5 * small
+
+    def test_tile_rounding_penalizes_tiny_matmuls(self):
+        mpu = MpuTiming()
+        tiny = mpu.gemm_cycles(1, 1, 1)
+        # One MAC of work still costs a full tile pass + pipeline fill.
+        assert tiny > mpu.pipeline_fill_cycles
+
+    def test_gemv_peak_rate(self):
+        mpu = MpuTiming()
+        # A perfectly tiled GEMV runs at 2048 MACs/cycle.
+        cycles = mpu.gemv_cycles(1280, 1600)
+        work = 1280 * 1600
+        assert cycles - mpu.pipeline_fill_cycles == work // 2048
+
+    def test_masked_mm_pays_fill_once(self):
+        mpu = MpuTiming()
+        one = isa.MpuMaskedMm(dst="m1", q="m0", k_addr=0, heads=1,
+                              head_dim=128, ctx=256, m=1, scale=1.0,
+                              mask_offset=255)
+        four = isa.MpuMaskedMm(dst="m1", q="m0", k_addr=0, heads=4,
+                               head_dim=128, ctx=256, m=1, scale=1.0,
+                               mask_offset=255)
+        per_head = mpu.cycles(one) - mpu.pipeline_fill_cycles
+        assert mpu.cycles(four) == mpu.pipeline_fill_cycles + 4 * per_head
+
+    def test_non_mpu_instruction_rejected(self):
+        with pytest.raises(SimulationError):
+            MpuTiming().cycles(isa.VpuGelu(dst="m1", src="m0"))
+
+
+class TestVpuTiming:
+    def test_multi_pass_ops_cost_more(self):
+        vpu = VpuTiming()
+        add = vpu.cycles_for_elements("VPU_ADD", 1 << 16)
+        ln = vpu.cycles_for_elements("VPU_LAYERNORM", 1 << 16)
+        assert ln > 2 * (add - vpu.issue_cycles)
+
+    def test_redumax_fused_softmax_cheaper(self):
+        vpu = VpuTiming()
+        plain = vpu.cycles(isa.VpuSoftmax(dst="m1", src="m0"), 1 << 16)
+        fused = vpu.cycles(isa.VpuSoftmax(dst="m1", src="m0", rowmax="v0"),
+                           1 << 16)
+        assert fused < plain
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(SimulationError):
+            VpuTiming().cycles_for_elements("VPU_FFT", 100)
+
+
+class TestDmaTiming:
+    def test_large_transfer_near_bandwidth(self):
+        dma = DmaTiming(bandwidth=1e12)
+        # Burst re-arm costs ~4% at 1 MiB buffers; stay within 5% of peak.
+        assert 1e9 / dma.transfer_time(1e9) == pytest.approx(1e12, rel=0.05)
+
+    def test_small_transfer_dominated_by_setup(self):
+        dma = DmaTiming(bandwidth=1e12)
+        assert dma.transfer_time(64) >= dma.setup_s
+
+    def test_burst_rearm_for_big_transfers(self):
+        dma = DmaTiming(bandwidth=1e12, buffer_bytes=1 * MiB)
+        one_buf = dma.transfer_time(1 * MiB)
+        two_buf = dma.transfer_time(2 * MiB)
+        assert two_buf > 2 * one_buf - dma.setup_s - 1e-12
+
+    def test_zero_transfer_free(self):
+        assert DmaTiming(bandwidth=1e12).transfer_time(0) == 0.0
+
+    def test_gather_per_row_cost(self):
+        dma = DmaTiming(bandwidth=1e12)
+        few = dma.gather_time(2, 256)
+        many = dma.gather_time(64, 256)
+        assert many > few
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SimulationError):
+            DmaTiming(bandwidth=0)
+        with pytest.raises(SimulationError):
+            DmaTiming(bandwidth=1e12).transfer_time(-1)
+        with pytest.raises(SimulationError):
+            DmaTiming(bandwidth=1e12).gather_time(0, 64)
+
+
+class TestDevicePower:
+    def test_idle_below_max(self, pnm_device):
+        idle = pnm_device.power_watts(0.0, 0.0)
+        busy = pnm_device.power_watts(1.0, 1.0)
+        assert idle < busy <= pnm_device.spec.platform_max_watts
+
+    def test_power_capped_at_platform_budget(self, pnm_device):
+        assert pnm_device.power_watts(1.0, 1.0) <= 150.0
+
+    def test_bad_utilization_rejected(self, pnm_device):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            pnm_device.power_watts(1.5, 0.0)
+
+    def test_effective_bandwidth_below_peak(self, pnm_device):
+        assert pnm_device.effective_memory_bandwidth \
+            < pnm_device.peak_memory_bandwidth

@@ -1,0 +1,126 @@
+"""Appliance composition: plans, comm models, clusters."""
+
+import pytest
+
+from repro.appliance import (
+    CxlCommModel,
+    GpuAppliance,
+    GpuCommModel,
+    ParallelismPlan,
+    PnmAppliance,
+    devices_required,
+    feasible_plans,
+    params_per_device,
+)
+from repro.errors import ParallelismError
+from repro.gpu import A100_40G
+from repro.llm import OPT_13B, OPT_66B
+from repro.units import GB
+
+
+class TestParallelismPlan:
+    def test_num_devices(self):
+        assert ParallelismPlan(4, 2).num_devices == 8
+
+    def test_label(self):
+        assert ParallelismPlan(4, 2).label == "DP=4 x MP=2"
+
+    def test_degrees_must_be_positive(self):
+        with pytest.raises(ParallelismError):
+            ParallelismPlan(0, 8)
+
+    def test_validate_device_count(self):
+        with pytest.raises(ParallelismError):
+            ParallelismPlan(2, 2).validate_for(OPT_66B, 8, 512 * GB)
+
+    def test_validate_head_divisibility(self):
+        with pytest.raises(ParallelismError):
+            ParallelismPlan(1, 7).validate_for(OPT_66B, 7, 512 * GB)
+
+    def test_validate_memory_capacity(self):
+        # OPT-66B (132 GB) does not fit one 40 GB device.
+        with pytest.raises(ParallelismError):
+            ParallelismPlan(8, 1).validate_for(OPT_66B, 8, int(40e9))
+
+    def test_kv_reserve_counts(self):
+        plan = ParallelismPlan(8, 1)
+        plan.validate_for(OPT_66B, 8, 512 * GB, kv_reserve_bytes=GB)
+        with pytest.raises(ParallelismError):
+            plan.validate_for(OPT_66B, 8, int(133e9),
+                              kv_reserve_bytes=5 * GB)
+
+
+class TestPartitioning:
+    def test_params_split_evenly_plus_replication(self):
+        full = params_per_device(OPT_66B, 1)
+        half = params_per_device(OPT_66B, 2)
+        replicated = (OPT_66B.embedding_params + 2 * OPT_66B.d_model) * 2
+        assert half == pytest.approx((full - replicated) / 2 + replicated,
+                                     rel=0.001)
+
+    def test_feasible_plans_for_opt66b(self):
+        # On 8x 40 GB GPUs the model must split at least 4 ways; on
+        # 8x 512 GB CXL-PNM every DP x MP split fits.
+        gpu_plans = feasible_plans(OPT_66B, 8, int(40e9 * 0.94))
+        assert {p.tensor_parallel for p in gpu_plans} == {4, 8}
+        pnm_plans = feasible_plans(OPT_66B, 8, 512 * GB)
+        assert {p.tensor_parallel for p in pnm_plans} == {1, 2, 4, 8}
+
+    def test_devices_required(self):
+        assert devices_required(OPT_13B, 512 * GB) == 1
+        assert devices_required(OPT_66B, int(40e9)) >= 4
+
+    def test_devices_required_impossible(self):
+        with pytest.raises(ParallelismError):
+            devices_required(OPT_66B, 1000, kv_reserve_bytes=999)
+
+
+class TestCommModels:
+    def test_single_device_free(self):
+        assert CxlCommModel(OPT_66B, 1)(1) == 0.0
+        assert GpuCommModel(A100_40G, OPT_66B, 1)(1) == 0.0
+
+    def test_comm_scales_with_batch_tokens(self):
+        comm = CxlCommModel(OPT_66B, 8)
+        assert comm(64) > comm(1)
+
+    def test_gpu_allreduce_latency_dominated_for_single_token(self):
+        comm = GpuCommModel(A100_40G, OPT_66B, 8)
+        per_boundary = comm(1) / (OPT_66B.num_layers * 2)
+        assert per_boundary == pytest.approx(20e-6, rel=0.2)
+
+    def test_cxl_allreduce_includes_sw_overhead(self):
+        comm = CxlCommModel(OPT_66B, 2)
+        assert comm.allreduce_time(1024) > 10e-6
+
+
+class TestAppliances:
+    def test_gpu_appliance_cost(self):
+        assert GpuAppliance(A100_40G, 8).hardware_cost_usd == 80_000
+
+    def test_pnm_appliance_cost(self):
+        assert PnmAppliance(num_devices=8).hardware_cost_usd == 56_000
+
+    def test_dp8_runs_eight_instances(self):
+        result = PnmAppliance(num_devices=8).run(
+            OPT_66B, ParallelismPlan(8, 1), 64, 64)
+        assert result.instances == 8
+        assert result.throughput_tokens_per_s == pytest.approx(
+            8 * result.per_request.tokens_per_s)
+
+    def test_mp_cuts_latency_dp_raises_throughput(self):
+        appliance = PnmAppliance(num_devices=8)
+        dp8 = appliance.run(OPT_66B, ParallelismPlan(8, 1), 64, 64)
+        mp8 = appliance.run(OPT_66B, ParallelismPlan(1, 8), 64, 64)
+        assert mp8.latency_s < dp8.latency_s / 3
+        assert dp8.throughput_tokens_per_s > mp8.throughput_tokens_per_s
+
+    def test_gpu_appliance_rejects_undersplit_model(self):
+        with pytest.raises(ParallelismError):
+            GpuAppliance(A100_40G, 8).run(OPT_66B, ParallelismPlan(8, 1),
+                                          64, 64)
+
+    def test_appliance_power_below_device_budgets(self):
+        result = PnmAppliance(num_devices=8).run(
+            OPT_66B, ParallelismPlan(8, 1), 64, 64)
+        assert result.appliance_power_w <= 8 * 150.0

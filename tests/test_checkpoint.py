@@ -1,0 +1,64 @@
+"""Checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm import ReferenceModel, random_weights, tiny_config
+from repro.llm.checkpoint import load_checkpoint, save_checkpoint
+from repro.runtime import InferenceSession
+
+
+class TestRoundTrip:
+    def test_config_survives(self, tmp_path, tiny_weights, tiny_cfg):
+        path = save_checkpoint(tiny_weights, tmp_path / "model.npz")
+        loaded = load_checkpoint(path)
+        assert loaded.config == tiny_cfg
+
+    def test_tensors_bitwise_identical(self, tmp_path, tiny_weights):
+        path = save_checkpoint(tiny_weights, tmp_path / "model.npz")
+        loaded = load_checkpoint(path)
+        for name, tensor in tiny_weights.named_tensors().items():
+            np.testing.assert_array_equal(
+                loaded.named_tensors()[name], tensor, err_msg=name)
+
+    def test_generation_identical_after_reload(self, tmp_path):
+        weights = random_weights(tiny_config(), seed=33)
+        path = save_checkpoint(weights, tmp_path / "model")
+        loaded = load_checkpoint(path)
+        original = ReferenceModel(weights).generate([4, 5], 6)
+        reloaded = ReferenceModel(loaded).generate([4, 5], 6)
+        assert original == reloaded
+
+    def test_session_runs_from_checkpoint(self, tmp_path):
+        weights = random_weights(tiny_config(), seed=34)
+        path = save_checkpoint(weights, tmp_path / "model.npz")
+        session = InferenceSession(load_checkpoint(path),
+                                   simulate_timing=False)
+        expected = ReferenceModel(weights).generate([9], 4)
+        assert session.generate([9], 4).tokens == expected
+
+    def test_suffix_added(self, tmp_path, tiny_weights):
+        path = save_checkpoint(tiny_weights, tmp_path / "no_suffix")
+        assert path.suffix == ".npz"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(tmp_path / "absent.npz")
+
+    def test_non_checkpoint_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path)
+
+    def test_truncated_checkpoint(self, tmp_path, tiny_weights):
+        path = save_checkpoint(tiny_weights, tmp_path / "model.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays.pop("layer0.w_qkv")
+        np.savez(path, **arrays)
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path)

@@ -1,0 +1,84 @@
+"""The repro.core platform facade."""
+
+import pytest
+
+from repro.appliance import ParallelismPlan
+from repro.core import CxlPnmPlatform
+from repro.errors import CapacityError
+from repro.llm import OPT_13B, OPT_175B, OPT_66B, tiny_config
+
+#: ~700 GB of FP16 parameters: larger than one 512 GB module.
+OVERSIZED = OPT_175B.scaled("OPT-350B", num_layers=192)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CxlPnmPlatform()
+
+
+class TestReport:
+    def test_report_matches_paper_headline(self, platform):
+        report = platform.report()
+        assert report.memory_capacity_gb == pytest.approx(512.0)
+        assert report.peak_bandwidth_tb_s == pytest.approx(1.088)
+        assert report.peak_gemm_tflops == pytest.approx(4.096)
+        assert report.platform_max_watts == 150.0
+
+    def test_report_dict_roundtrip(self, platform):
+        d = platform.report().as_dict()
+        assert set(d) == {
+            "memory_capacity_gb", "peak_bandwidth_tb_s",
+            "effective_bandwidth_tb_s", "peak_gemm_tflops",
+            "peak_gemv_tflops", "platform_max_watts"}
+
+
+class TestCapacity:
+    def test_opt66b_and_175b_fit_oversized_does_not(self, platform):
+        # Even OPT-175B (349 GB) fits the 512 GB module -- the paper's
+        # capacity headline; a ~700 GB model does not.
+        assert platform.fits(OPT_66B)
+        assert platform.fits(OPT_175B)
+        assert not platform.fits(OVERSIZED)
+
+    def test_estimate_rejects_oversized(self, platform):
+        with pytest.raises(CapacityError):
+            platform.estimate(OVERSIZED, 64, 64)
+
+
+class TestFunctionalFace:
+    def test_session_from_config(self, platform):
+        session = platform.session(config=tiny_config(), seed=3)
+        trace = session.generate([1, 2], 4)
+        assert len(trace.tokens) == 4
+
+    def test_session_requires_weights_or_config(self, platform):
+        with pytest.raises(CapacityError):
+            platform.session()
+
+
+class TestTensorParallelFace:
+    def test_tp_session_matches_reference(self, platform):
+        from repro.llm import ReferenceModel, random_weights
+        cfg = tiny_config()
+        weights = random_weights(cfg, seed=8)
+        session = platform.tensor_parallel_session(weights=weights,
+                                                   degree=2)
+        assert session.generate([5, 6], 4) == \
+            ReferenceModel(weights).generate([5, 6], 4)
+
+    def test_tp_session_needs_weights_or_config(self, platform):
+        with pytest.raises(CapacityError):
+            platform.tensor_parallel_session()
+
+
+class TestModelledFace:
+    def test_estimate_returns_inference_result(self, platform):
+        result = platform.estimate(OPT_13B, 64, 128)
+        assert result.latency_s > 0
+        assert result.device_name == "CXL-PNM"
+
+    def test_estimate_appliance(self, platform):
+        result = platform.estimate_appliance(OPT_66B,
+                                             ParallelismPlan(8, 1), 64, 64)
+        assert result.instances == 8
+        assert result.throughput_tokens_per_s > 0

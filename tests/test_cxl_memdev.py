@@ -1,0 +1,112 @@
+"""Functional CXL device: transaction-level load/store into real memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator import ControlRegister, DeviceMemory
+from repro.cxl import Opcode, Source, Transaction
+from repro.cxl.memdev import FunctionalCxlDevice
+from repro.errors import AddressError, ProtocolError
+from repro.units import MiB
+
+
+@pytest.fixture()
+def device():
+    return FunctionalCxlDevice(DeviceMemory(4 * MiB))
+
+
+class TestLineAccess:
+    def test_write_then_read_line(self, device):
+        data = np.arange(64, dtype=np.uint8)
+        txn = Transaction(opcode=Opcode.MEM_WR, addr=128)
+        resp = device.write_line(txn, data)
+        assert resp.opcode is Opcode.CMP
+        read = device.submit(Transaction(opcode=Opcode.MEM_RD, addr=128))
+        assert read.opcode is Opcode.MEM_RD_DATA
+        np.testing.assert_array_equal(read.payload, data)
+
+    def test_tags_preserved(self, device):
+        txn = Transaction(opcode=Opcode.MEM_RD, addr=0)
+        assert device.submit(txn).tag == txn.tag
+
+    def test_wrong_payload_size_rejected(self, device):
+        txn = Transaction(opcode=Opcode.MEM_WR, addr=0)
+        with pytest.raises(ProtocolError):
+            device.write_line(txn, np.zeros(32, dtype=np.uint8))
+
+    def test_memwr_through_submit_rejected(self, device):
+        with pytest.raises(ProtocolError):
+            device.submit(Transaction(opcode=Opcode.MEM_WR, addr=0))
+
+    def test_out_of_range_line(self, device):
+        end = device.memory.capacity
+        with pytest.raises(AddressError):
+            device.submit(Transaction(opcode=Opcode.MEM_RD, addr=end))
+
+    def test_counters_track_sources(self, device):
+        device.submit(Transaction(opcode=Opcode.MEM_RD, addr=0,
+                                  source=Source.PNM))
+        device.submit(Transaction(opcode=Opcode.MEM_RD, addr=0,
+                                  source=Source.HOST))
+        assert device.counters.reads[Source.PNM] == 1
+        assert device.counters.bytes_read(Source.HOST) == 64
+
+
+class TestConfigSpace:
+    def test_cfg_roundtrip(self, device):
+        device.cfg_write(ControlRegister.NUM_LAYERS, 24)
+        assert device.cfg_read(ControlRegister.NUM_LAYERS) == 24
+
+    def test_cfg_transactions_rejected_on_mem_path(self, device):
+        with pytest.raises(ProtocolError):
+            device.submit(Transaction(opcode=Opcode.CFG_RD, addr=0, size=4))
+
+
+class TestTensorPath:
+    def test_tensor_roundtrip_over_cxl_mem(self, device):
+        tensor = np.random.default_rng(0).standard_normal((7, 9)).astype(
+            np.float32)
+        issued = device.host_store_tensor(256, tensor)
+        assert issued == -(-tensor.nbytes // 64)
+        back = device.host_load_tensor(256, (7, 9))
+        np.testing.assert_array_equal(back, tensor)
+
+    def test_host_writes_visible_to_accelerator_memory(self, device):
+        """The CXL.mem promise: host stores land in the same memory the
+        accelerator computes on — no staging copies."""
+        tensor = np.ones((16,), dtype=np.float32)
+        region = device.memory.alloc_tensor("x", (16,))
+        device.host_store_tensor(region.addr, tensor)
+        np.testing.assert_array_equal(
+            device.memory.read_tensor(region.addr, (16,)), tensor)
+
+    def test_partial_tail_line_preserves_neighbours(self, device):
+        # Write a neighbour value just past the tensor tail, then store a
+        # non-multiple-of-16 tensor; the neighbour must survive the RMW.
+        device.memory.alloc("pad", 256)
+        tail_guard = np.full(4, 7.0, dtype=np.float32)
+        device.memory.write_tensor(5 * 4 + 0, tail_guard)  # bytes 20..36
+        tensor = np.arange(5, dtype=np.float32)            # bytes 0..20
+        device.host_store_tensor(0, tensor)
+        np.testing.assert_array_equal(
+            device.memory.read_tensor(0, (5,)), tensor)
+        np.testing.assert_array_equal(
+            device.memory.read_tensor(20, (4,)), tail_guard)
+
+    def test_unaligned_tensor_rejected(self, device):
+        with pytest.raises(AddressError):
+            device.host_store_tensor(10, np.zeros(4, dtype=np.float32))
+
+    def test_transfer_time_positive(self, device):
+        assert device.host_transfer_time(1 << 20) > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.floats(-1e3, 1e3, width=32), min_size=1,
+                    max_size=100))
+    def test_roundtrip_property(self, values):
+        device = FunctionalCxlDevice(DeviceMemory(1 * MiB))
+        tensor = np.array(values, dtype=np.float32)
+        device.host_store_tensor(0, tensor)
+        back = device.host_load_tensor(0, tensor.shape)
+        np.testing.assert_array_equal(back, tensor)

@@ -1,0 +1,104 @@
+"""Type-3 devices, HDM decode, and the unified multi-device topology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cxl import CXLType3Device, build_topology
+from repro.errors import AddressError, ConfigurationError
+from repro.units import GiB
+
+
+class TestDeviceDecode:
+    def test_hdm_range_from_module(self):
+        device = CXLType3Device(device_id=0, hdm_base=1 << 40)
+        assert device.hdm_size == 512e9
+        assert device.contains(1 << 40)
+        assert not device.contains((1 << 40) - 1)
+
+    def test_local_host_roundtrip(self):
+        device = CXLType3Device(device_id=0, hdm_base=1 << 40)
+        local = device.to_local((1 << 40) + 12345)
+        assert local == 12345
+        assert device.to_host(local) == (1 << 40) + 12345
+
+    def test_out_of_range_rejected(self):
+        device = CXLType3Device(device_id=0, hdm_base=0)
+        with pytest.raises(AddressError):
+            device.to_local(device.hdm_size)
+        with pytest.raises(AddressError):
+            device.to_host(device.hdm_size)
+
+    def test_register_region_above_hdm(self):
+        device = CXLType3Device(device_id=0, hdm_base=0)
+        region = device.register_region
+        assert region.base == device.hdm_end
+        assert region.offset_of(region.base + 8) == 8
+        with pytest.raises(AddressError):
+            region.offset_of(region.base - 1)
+
+    def test_route_spreads_across_channels(self):
+        device = CXLType3Device(device_id=0, hdm_base=0)
+        granule = device.interleave.granule_bytes
+        channels = {device.route(i * granule)[0] for i in range(64)}
+        assert len(channels) == device.interleave.num_channels
+
+    def test_route_out_of_range(self):
+        device = CXLType3Device(device_id=0, hdm_base=0)
+        with pytest.raises(AddressError):
+            device.route(device.hdm_size + 1)
+
+
+class TestTopology:
+    def test_eight_device_appliance_capacity(self):
+        topo = build_topology(8)
+        assert topo.total_device_capacity == 8 * 512e9
+
+    def test_numa_node_numbering(self):
+        topo = build_topology(2, host_dram_bytes=GiB)
+        assert topo.numa_node_of(0) == 0
+        assert topo.numa_node_of(topo.devices[0].hdm_base) == 1
+        assert topo.numa_node_of(topo.devices[1].hdm_base) == 2
+
+    def test_device_ranges_disjoint(self):
+        topo = build_topology(4)
+        for a in topo.devices:
+            for b in topo.devices:
+                if a.device_id != b.device_id:
+                    assert a.hdm_end <= b.hdm_base or b.hdm_end <= a.hdm_base
+
+    def test_unmapped_address_rejected(self):
+        topo = build_topology(1, host_dram_bytes=GiB)
+        beyond = topo.devices[-1].register_region.base \
+            + topo.devices[-1].register_region.size + GiB
+        with pytest.raises(AddressError):
+            topo.device_of(beyond)
+
+    def test_transfer_hops(self):
+        topo = build_topology(2, host_dram_bytes=GiB)
+        host_addr = 0
+        dev0 = topo.devices[0].hdm_base
+        dev1 = topo.devices[1].hdm_base
+        assert topo.transfer_hops(host_addr, host_addr) == 0
+        assert topo.transfer_hops(host_addr, dev0) == 1
+        assert topo.transfer_hops(dev0, dev1) == 2
+        assert topo.transfer_hops(dev0, dev0 + 64) == 0
+
+    def test_d2d_time_scales_with_bytes(self):
+        topo = build_topology(2)
+        small = topo.d2d_transfer_time(1e6)
+        large = topo.d2d_transfer_time(1e9)
+        assert large > small * 100
+
+    def test_d2d_zero_free(self):
+        assert build_topology(2).d2d_transfer_time(0) == 0.0
+
+    def test_needs_a_device(self):
+        with pytest.raises(ConfigurationError):
+            build_topology(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(offset=st.integers(0, int(512e9) - 1))
+    def test_every_device_byte_decodes_to_its_device(self, offset):
+        topo = build_topology(3)
+        device = topo.devices[1]
+        assert topo.device_of(device.hdm_base + offset) is device

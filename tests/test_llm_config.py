@@ -1,0 +1,112 @@
+"""LLM configuration and model-zoo arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.llm import (
+    GPT3_175B,
+    LLMConfig,
+    MODEL_ZOO,
+    OPT_13B,
+    OPT_30B,
+    OPT_66B,
+    OPT_6_7B,
+    get_model,
+    tiny_config,
+)
+from repro.units import GiB
+
+
+class TestParameterCounts:
+    """Zoo models must land near their nominal parameter counts."""
+
+    @pytest.mark.parametrize("config,nominal_billion", [
+        (OPT_6_7B, 6.7), (OPT_13B, 13.0), (OPT_30B, 30.0), (OPT_66B, 66.0),
+    ])
+    def test_opt_zoo_param_counts(self, config, nominal_billion):
+        actual = config.num_params / 1e9
+        assert actual == pytest.approx(nominal_billion, rel=0.06)
+
+    def test_gpt35_capacity_is_papers_326_gb(self):
+        # §I: GPT-3.5 (175B) requires 326 GB of memory at FP16.
+        assert GPT3_175B.param_bytes / GiB == pytest.approx(326, abs=4)
+
+    def test_param_bytes_scale_with_dtype(self):
+        cfg = tiny_config()
+        assert cfg.param_bytes == cfg.num_params * 2
+
+    def test_layer_params_dominated_by_12_d_squared(self):
+        cfg = OPT_13B
+        assert cfg.params_per_layer == pytest.approx(
+            12 * cfg.d_model ** 2, rel=0.01)
+
+
+class TestValidation:
+    def test_heads_must_divide_d_model(self):
+        with pytest.raises(ConfigurationError):
+            LLMConfig(name="bad", num_layers=2, d_model=100, num_heads=3)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ConfigurationError):
+            LLMConfig(name="bad", num_layers=0, d_model=64, num_heads=4)
+
+    def test_dtype_bytes_restricted(self):
+        with pytest.raises(ConfigurationError):
+            LLMConfig(name="bad", num_layers=2, d_model=64, num_heads=4,
+                      dtype_bytes=3)
+
+    def test_d_ff_defaults_to_4x(self):
+        cfg = LLMConfig(name="x", num_layers=2, d_model=64, num_heads=4)
+        assert cfg.d_ff == 256
+
+    def test_negative_seq_len_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_config().working_set_bytes(-1)
+
+
+class TestZooLookup:
+    def test_get_model_known(self):
+        assert get_model("OPT-13B") is OPT_13B
+
+    def test_get_model_unknown_lists_options(self):
+        with pytest.raises(ConfigurationError, match="OPT-13B"):
+            get_model("OPT-99T")
+
+    def test_zoo_names_match_keys(self):
+        for name, cfg in MODEL_ZOO.items():
+            assert cfg.name == name
+
+
+class TestDerivedQuantities:
+    def test_kv_bytes_per_token(self):
+        cfg = tiny_config()
+        assert cfg.kv_bytes_per_token() == \
+            2 * cfg.num_layers * cfg.d_model * cfg.dtype_bytes
+
+    def test_working_set_grows_linearly(self):
+        cfg = OPT_13B
+        base = cfg.working_set_bytes(0)
+        assert base == cfg.param_bytes
+        delta = cfg.working_set_bytes(100) - base
+        assert delta == 100 * cfg.kv_bytes_per_token()
+
+    def test_head_dim_multiple_of_16_in_zoo(self):
+        # GPT-3 Large uses 96-wide heads; everything else is 64/128-wide.
+        for cfg in MODEL_ZOO.values():
+            assert cfg.head_dim % 16 == 0
+
+    def test_scaled_changes_only_depth(self):
+        deep = OPT_13B.scaled("deep", 80)
+        assert deep.num_layers == 80
+        assert deep.d_model == OPT_13B.d_model
+        assert deep.num_params > OPT_13B.num_params
+
+    @given(layers=st.integers(1, 200), d=st.sampled_from([64, 128, 256]),
+           heads=st.sampled_from([1, 2, 4]))
+    def test_param_count_positive_and_monotone_in_depth(self, layers, d,
+                                                        heads):
+        cfg = LLMConfig(name="h", num_layers=layers, d_model=d,
+                        num_heads=heads, vocab_size=128, max_seq_len=32)
+        deeper = cfg.scaled("h2", layers + 1)
+        assert 0 < cfg.num_params < deeper.num_params

@@ -1,0 +1,66 @@
+"""KV-cache sizing, growth, and capacity checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.llm import KVCache, OPT_13B, peak_kv_bytes, request_fits, tiny_config
+
+
+class TestKVCache:
+    def test_empty_cache_has_no_bytes(self):
+        cache = KVCache(tiny_config())
+        assert cache.total_bytes == 0
+
+    def test_append_grows_linearly(self):
+        cfg = tiny_config()
+        cache = KVCache(cfg)
+        cache.append(5)
+        assert cache.total_bytes == 5 * cfg.kv_bytes_per_token()
+
+    def test_append_beyond_max_seq_rejected(self):
+        cfg = tiny_config(max_seq_len=8)
+        cache = KVCache(cfg, tokens=8)
+        with pytest.raises(CapacityError):
+            cache.append(1)
+
+    def test_negative_append_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KVCache(tiny_config()).append(-1)
+
+    def test_negative_initial_tokens_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KVCache(tiny_config(), tokens=-3)
+
+    def test_gen_reads_whole_cache(self):
+        cache = KVCache(tiny_config(), tokens=7)
+        assert cache.read_bytes_for_gen() == cache.total_bytes
+
+
+class TestPeakAndFit:
+    def test_peak_kv_matches_paper_formula(self):
+        # 2 x L x d_emb elements per layer (§II-B).
+        cfg = OPT_13B
+        total = peak_kv_bytes(cfg, 64, 64)
+        assert total == 128 * 2 * cfg.num_layers * cfg.d_model * 2
+
+    def test_peak_rejects_overlong_requests(self):
+        with pytest.raises(CapacityError):
+            peak_kv_bytes(tiny_config(max_seq_len=16), 10, 10)
+
+    def test_opt13b_fits_cxl_but_not_small_memory(self):
+        from repro.units import GB, GiB
+        assert request_fits(OPT_13B, 512 * GB, 64, 1024)
+        assert not request_fits(OPT_13B, 16 * GiB, 64, 1024)
+
+    def test_batch_scales_kv_only(self):
+        from repro.units import GB
+        # A memory that fits batch=1 may not fit batch=256.
+        assert request_fits(OPT_13B, 30 * GB, 64, 1024, batch=1)
+        assert not request_fits(OPT_13B, 30 * GB, 64, 1024, batch=256)
+
+    @given(inp=st.integers(1, 16), out=st.integers(1, 16))
+    def test_peak_monotone(self, inp, out):
+        cfg = tiny_config()
+        assert peak_kv_bytes(cfg, inp, out) \
+            <= peak_kv_bytes(cfg, inp, out + 1)

@@ -1,0 +1,76 @@
+"""DRAM technology parameters reproduce Table I's package rows."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import (
+    DDR5,
+    GDDR6,
+    HBM3,
+    LPDDR5X,
+    StackingTech,
+    TECHNOLOGIES,
+    get_technology,
+)
+from repro.units import GB
+
+
+class TestTable1PackageRows:
+    @pytest.mark.parametrize("tech,gbps,io,bw_gb,cap_gb", [
+        (DDR5, 5.6, 4, 2.8, 16),
+        (GDDR6, 24.0, 32, 96.0, 2),
+        (HBM3, 6.4, 1024, 819.2, 16),
+        (LPDDR5X, 8.5, 128, 136.0, 64),
+    ])
+    def test_per_package_rows(self, tech, gbps, io, bw_gb, cap_gb):
+        assert tech.gbps_per_pin == gbps
+        assert tech.io_width_per_package == io
+        assert tech.bandwidth_per_package / GB == pytest.approx(bw_gb)
+        assert tech.capacity_per_package / GB == pytest.approx(cap_gb)
+
+    def test_voltages_match_table1(self):
+        assert (DDR5.core_voltage, DDR5.io_voltage) == (1.1, 1.1)
+        assert (GDDR6.core_voltage, GDDR6.io_voltage) == (1.35, 1.35)
+        assert (HBM3.core_voltage, HBM3.io_voltage) == (1.1, 0.4)
+        assert (LPDDR5X.core_voltage, LPDDR5X.io_voltage) == (1.05, 0.5)
+
+    def test_normalized_power_row(self):
+        assert DDR5.table1_normalized_module_power == 0.35
+        assert GDDR6.table1_normalized_module_power == 0.96
+        assert HBM3.table1_normalized_module_power == 3.00
+        assert LPDDR5X.table1_normalized_module_power == 1.00
+
+
+class TestTechnologyProperties:
+    def test_lpddr_uses_cheap_wire_bonding(self):
+        assert LPDDR5X.stacking is StackingTech.WIRE_BOND
+        assert DDR5.stacking is StackingTech.TSV
+        assert HBM3.stacking is StackingTech.TSV
+        assert GDDR6.stacking is StackingTech.NONE
+
+    def test_lpddr_14_percent_lower_energy_than_gddr6(self):
+        # §I advantage (2): 14% lower pJ/bit than GDDR6.
+        ratio = LPDDR5X.access_energy_pj_per_bit \
+            / GDDR6.access_energy_pj_per_bit
+        assert ratio == pytest.approx(0.86, abs=0.01)
+
+    def test_lpddr_package_has_32_dies(self):
+        # Fig. 5: 8 channels x 2 stacks x 2 dies.
+        assert LPDDR5X.dies_per_package == 32
+
+    def test_access_energy_scales_with_bytes(self):
+        one = LPDDR5X.access_energy_joules(1e9)
+        two = LPDDR5X.access_energy_joules(2e9)
+        assert two == pytest.approx(2 * one)
+
+
+class TestLookup:
+    def test_get_technology(self):
+        assert get_technology("LPDDR5X") is LPDDR5X
+
+    def test_unknown_technology(self):
+        with pytest.raises(ConfigurationError):
+            get_technology("DDR4")
+
+    def test_registry_complete(self):
+        assert set(TECHNOLOGIES) == {"DDR5", "GDDR6", "HBM3", "LPDDR5X"}

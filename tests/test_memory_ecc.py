@@ -1,0 +1,122 @@
+"""SECDED codec and RAS models (§IX)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.ecc import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeStatus,
+    InlineEccConfig,
+    ScrubPolicy,
+    decode,
+    encode,
+    inject_errors,
+)
+from repro.units import GB
+
+WORDS = [0, 1, 0xFFFF_FFFF_FFFF_FFFF, 0xDEAD_BEEF_CAFE_F00D,
+         0x8000_0000_0000_0000, 0x5555_5555_5555_5555]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("word", WORDS)
+    def test_clean_roundtrip(self, word):
+        result = decode(encode(word))
+        assert result.status is DecodeStatus.OK
+        assert result.word == word
+
+    @pytest.mark.parametrize("word", WORDS)
+    @pytest.mark.parametrize("pos", [0, 1, 7, 35, 63, 70, 71])
+    def test_single_bit_error_corrected(self, word, pos):
+        corrupted = inject_errors(encode(word), [pos])
+        result = decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.word == word
+        assert result.flipped_position == pos
+
+    @pytest.mark.parametrize("word", WORDS[:3])
+    @pytest.mark.parametrize("positions", [(0, 1), (5, 40), (70, 71),
+                                           (0, 71)])
+    def test_double_bit_error_detected(self, word, positions):
+        corrupted = inject_errors(encode(word), list(positions))
+        assert decode(corrupted).status is DecodeStatus.DETECTED
+
+    @settings(max_examples=60, deadline=None)
+    @given(word=st.integers(0, (1 << DATA_BITS) - 1),
+           pos=st.integers(0, CODEWORD_BITS - 1))
+    def test_secded_property_single(self, word, pos):
+        """Every 1-bit flip of every codeword corrects back exactly."""
+        result = decode(inject_errors(encode(word), [pos]))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.word == word
+
+    @settings(max_examples=60, deadline=None)
+    @given(word=st.integers(0, (1 << DATA_BITS) - 1),
+           positions=st.lists(st.integers(0, CODEWORD_BITS - 1),
+                              min_size=2, max_size=2, unique=True))
+    def test_secded_property_double(self, word, positions):
+        """Every distinct 2-bit flip is detected, never miscorrected."""
+        result = decode(inject_errors(encode(word), positions))
+        assert result.status is DecodeStatus.DETECTED
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            encode(1 << DATA_BITS)
+        with pytest.raises(ConfigurationError):
+            decode(np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            inject_errors(encode(0), [CODEWORD_BITS])
+
+
+class TestInlineEcc:
+    def test_overhead_is_one_ninth(self):
+        cfg = InlineEccConfig(module_capacity_bytes=512 * GB)
+        assert cfg.parity_overhead_fraction == pytest.approx(8 / 72)
+        assert cfg.usable_capacity_bytes == pytest.approx(
+            512 * GB * (1 - 8 / 72), rel=1e-9)
+
+    def test_partial_coverage_scales(self):
+        cfg = InlineEccConfig(module_capacity_bytes=512 * GB,
+                              covered_fraction=0.5)
+        assert cfg.parity_overhead_fraction == pytest.approx(4 / 72)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InlineEccConfig(module_capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            InlineEccConfig(module_capacity_bytes=1, covered_fraction=1.5)
+
+
+class TestScrubPolicy:
+    def test_shorter_interval_fewer_uncorrectables(self):
+        fast = ScrubPolicy(1e-12, scrub_interval_hours=1.0)
+        slow = ScrubPolicy(1e-12, scrub_interval_hours=24.0)
+        assert fast.uncorrectable_rate_per_hour(512 * GB) \
+            < slow.uncorrectable_rate_per_hour(512 * GB)
+
+    def test_shorter_interval_more_scrub_bandwidth(self):
+        fast = ScrubPolicy(1e-12, 1.0)
+        slow = ScrubPolicy(1e-12, 24.0)
+        assert fast.scrub_bandwidth_bytes_per_s(512 * GB) \
+            == pytest.approx(24 * slow.scrub_bandwidth_bytes_per_s(512 * GB))
+
+    def test_zero_error_rate_is_safe(self):
+        policy = ScrubPolicy(0.0, 1.0)
+        assert policy.uncorrectable_rate_per_hour(512 * GB) == 0.0
+
+    def test_rate_scales_with_capacity(self):
+        policy = ScrubPolicy(1e-12, 4.0)
+        small = policy.uncorrectable_rate_per_hour(64 * GB)
+        big = policy.uncorrectable_rate_per_hour(512 * GB)
+        assert big == pytest.approx(8 * small, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScrubPolicy(-1e-12, 1.0)
+        with pytest.raises(ConfigurationError):
+            ScrubPolicy(1e-12, 0.0)
+        with pytest.raises(ConfigurationError):
+            ScrubPolicy(1e-12, 1.0).uncorrectable_rate_per_hour(0)

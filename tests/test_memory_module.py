@@ -1,0 +1,91 @@
+"""Module composition reproduces Table I's module rows under FHHL."""
+
+import pytest
+
+from repro.errors import FormFactorError
+from repro.memory import (
+    FHHL,
+    HHHL,
+    MemoryModule,
+    build_module,
+    get_technology,
+    lpddr5x_module,
+    max_packages,
+    packaging_cost_factor,
+    table1_rows,
+    validate_composition,
+)
+from repro.units import GB, TB
+
+
+class TestTable1ModuleRows:
+    @pytest.mark.parametrize("tech,pkgs,bw,cap", [
+        ("DDR5", 32, 89.6e9, 512e9),
+        ("GDDR6", 16, 1.536e12, 32e9),
+        ("HBM3", 5, 4.096e12, 80e9),
+        ("LPDDR5X", 8, 1.088e12, 512e9),
+    ])
+    def test_max_module_per_technology(self, tech, pkgs, bw, cap):
+        module = build_module(tech)
+        assert module.num_packages == pkgs
+        assert module.peak_bandwidth == pytest.approx(bw, rel=1e-6)
+        assert module.capacity_bytes == pytest.approx(cap, rel=1e-6)
+
+    def test_io_width_per_module(self):
+        widths = {row["technology"]: row["io_width_per_module"]
+                  for row in table1_rows()}
+        assert widths == {"DDR5": 128, "GDDR6": 512, "HBM3": 5120,
+                          "LPDDR5X": 1024}
+
+    def test_lpddr5x_is_the_papers_module(self):
+        module = lpddr5x_module()
+        assert module.capacity_bytes == 512 * GB
+        assert module.peak_bandwidth / TB == pytest.approx(1.088)
+
+    def test_lpddr_capacity_advantage_16x_over_gddr6(self):
+        # §I: "16x larger capacity ... than GDDR6-based CXL memory".
+        assert lpddr5x_module().capacity_bytes \
+            == 16 * build_module("GDDR6").capacity_bytes
+
+    def test_lpddr_bandwidth_advantage_over_ddr5(self):
+        # §I: "10x higher bandwidth than ... DDR5-based CXL memory".
+        ratio = lpddr5x_module().peak_bandwidth \
+            / build_module("DDR5").peak_bandwidth
+        assert ratio == pytest.approx(12.1, abs=0.2)
+
+
+class TestFormFactorConstraints:
+    def test_too_many_packages_rejected(self):
+        with pytest.raises(FormFactorError):
+            MemoryModule(technology=get_technology("LPDDR5X"),
+                         num_packages=9)
+
+    def test_zero_packages_rejected(self):
+        with pytest.raises(FormFactorError):
+            validate_composition(get_technology("DDR5"), 0)
+
+    def test_hhhl_halves_lpddr_packages(self):
+        assert max_packages(get_technology("LPDDR5X"), HHHL) == 4
+
+    def test_hbm_limited_by_sip_not_traces(self):
+        assert max_packages(get_technology("HBM3"), FHHL) \
+            == FHHL.sip_package_limit
+
+    def test_gddr6_limited_by_trace_budget(self):
+        # 16 x32 packages at 2x trace cost exhaust the 1024-trace budget.
+        assert max_packages(get_technology("GDDR6"), FHHL) == 16
+
+    def test_partial_module_allowed(self):
+        module = MemoryModule(technology=get_technology("LPDDR5X"),
+                              num_packages=4)
+        assert module.capacity_bytes == 256 * GB
+
+
+class TestCostModel:
+    def test_tsv_premium_exceeds_wire_bond(self):
+        tsv = packaging_cost_factor(get_technology("DDR5"))
+        wire = packaging_cost_factor(get_technology("LPDDR5X"))
+        assert tsv > wire > 1.0 - 1e-9
+
+    def test_module_dram_cost_positive(self):
+        assert lpddr5x_module().dram_cost_usd > 0

@@ -1,0 +1,105 @@
+"""ECC-protected memory region: correction, detection, scrubbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator import DeviceMemory
+from repro.errors import ConfigurationError, ExecutionError
+from repro.memory.reliable import ReliableRegion
+from repro.units import MiB
+
+
+@pytest.fixture()
+def region():
+    return ReliableRegion(DeviceMemory(1 * MiB), "protected",
+                          data_words=64)
+
+
+class TestCleanPath:
+    def test_word_roundtrip(self, region):
+        region.write_word(3, 0xDEAD_BEEF_0123_4567)
+        assert region.read_word(3) == 0xDEAD_BEEF_0123_4567
+
+    def test_array_roundtrip(self, region):
+        values = np.arange(16, dtype=np.uint64) * 0x0101_0101
+        region.write_array(values)
+        np.testing.assert_array_equal(region.read_array(16), values)
+
+    def test_overhead_is_one_ninth(self, region):
+        assert region.overhead_fraction == pytest.approx(1 / 9)
+
+    def test_index_bounds(self, region):
+        with pytest.raises(ConfigurationError):
+            region.read_word(64)
+        with pytest.raises(ConfigurationError):
+            ReliableRegion(DeviceMemory(1 * MiB), "x", data_words=0)
+
+
+class TestFaults:
+    def test_single_bit_fault_corrected_transparently(self, region):
+        region.write_word(5, 12345)
+        code = region._load_code(5)
+        code[17] ^= 1
+        region._store_code(5, code)
+        assert region.read_word(5) == 12345
+        assert region.corrected_total == 1
+
+    def test_double_bit_fault_detected(self, region):
+        region.write_word(7, 999)
+        code = region._load_code(7)
+        code[0] ^= 1
+        code[40] ^= 1
+        region._store_code(7, code)
+        with pytest.raises(ExecutionError):
+            region.read_word(7)
+
+    def test_random_injection_survivable(self, region):
+        values = np.arange(64, dtype=np.uint64)
+        region.write_array(values)
+        region.inject_faults(num_flips=10, seed=4)
+        # Re-injecting into distinct words keeps each at <= 1 flip with
+        # high probability for this seed; all reads must round-trip.
+        recovered = region.read_array(64)
+        np.testing.assert_array_equal(recovered, values)
+
+    def test_negative_injection_rejected(self, region):
+        with pytest.raises(ConfigurationError):
+            region.inject_faults(-1)
+
+
+class TestScrub:
+    def test_scrub_repairs_single_bit_upsets(self, region):
+        values = np.arange(64, dtype=np.uint64) + 7
+        region.write_array(values)
+        affected = region.inject_faults(num_flips=8, seed=9)
+        report = region.scrub()
+        assert report.words_scanned == 64
+        assert report.corrected >= len(set(affected)) - report.uncorrectable
+        # After scrubbing, the stored codewords are clean again.
+        second = region.scrub()
+        assert second.corrected == 0
+
+    def test_scrub_prevents_error_accumulation(self, region):
+        """The ECS argument: scrub between single upsets and a second
+        upset in the same word never becomes uncorrectable."""
+        region.write_word(11, 42)
+        for round_ in range(4):
+            code = region._load_code(11)
+            code[round_ * 13 % 72] ^= 1
+            region._store_code(11, code)
+            region.scrub()
+        assert region.read_word(11) == 42
+
+    @settings(max_examples=10, deadline=None)
+    @given(word=st.integers(0, (1 << 64) - 1),
+           bit=st.integers(0, 71))
+    def test_scrub_property(self, word, bit):
+        region = ReliableRegion(DeviceMemory(64 * 1024), "p", data_words=2)
+        region.write_word(0, word)
+        code = region._load_code(0)
+        code[bit] ^= 1
+        region._store_code(0, code)
+        report = region.scrub()
+        assert report.corrected == 1
+        assert region.read_word(0) == word

@@ -1,0 +1,133 @@
+"""Shape checks against the paper's headline numbers.
+
+These are the reproduction's acceptance tests: directions must match the
+paper exactly (who wins), and magnitudes must land within generous bands
+(our substrate is an analytical/simulation model, not the authors'
+testbed).  Anything that drifts outside a band after a refactor means a
+calibration regression.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_experiment("fig10")
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_experiment("fig11")
+
+
+class TestFig10Anchors:
+    def test_gpu_slightly_faster_on_opt13b(self, fig10):
+        """Paper: CXL-PNM has 10.8% lower throughput at 1024 tokens."""
+        row = [r for r in fig10.rows if r["output_tokens"] == 1024][0]
+        assert -0.20 < row["throughput_delta"] < 0.0
+
+    def test_energy_efficiency_near_2_9x(self, fig10):
+        row = [r for r in fig10.rows if r["output_tokens"] == 1024][0]
+        assert row["energy_eff_ratio"] == pytest.approx(2.9, rel=0.2)
+
+    def test_power_operating_points(self, fig10):
+        row = [r for r in fig10.rows if r["output_tokens"] == 1024][0]
+        assert row["gpu_power_w"] == pytest.approx(253, rel=0.1)
+        assert row["pnm_power_w"] == pytest.approx(77.1, rel=0.15)
+
+    def test_energy_ratio_grows_with_output_length(self, fig10):
+        sweep = [r for r in fig10.rows
+                 if isinstance(r["output_tokens"], int)]
+        ratios = [r["energy_eff_ratio"] for r in sweep]
+        assert ratios == sorted(ratios)
+
+    def test_small_models_favor_pnm_large_favor_gpu(self, fig10):
+        """Paper: 59%/38%/2% lower latency on 1.3B/2.7B/6.7B; 10.9%
+        higher on 13B."""
+        deltas = {r["output_tokens"]: r["throughput_delta"]
+                  for r in fig10.rows
+                  if "latency_delta" in str(r["output_tokens"])}
+        assert deltas["OPT-1.3B latency_delta"] < -0.40
+        assert deltas["OPT-2.7B latency_delta"] < -0.25
+        assert -0.15 < deltas["OPT-6.7B latency_delta"] < 0.05
+        assert 0.0 < deltas["OPT-13B latency_delta"] < 0.20
+
+    def test_opt30b_offload_collapse(self, fig10):
+        """Paper: 138.8x lower latency, 127.9x higher energy efficiency
+        when the GPU must stream parameters over PCIe."""
+        row = [r for r in fig10.rows
+               if "OPT-30B" in str(r["output_tokens"])][0]
+        assert 80 < row["throughput_delta"] < 250      # latency ratio
+        assert 80 < row["energy_eff_ratio"] < 250
+
+
+class TestFig11Anchors:
+    def _row(self, fig11, label):
+        return [r for r in fig11.rows
+                if "CXL-PNM" in r["config"] and label in r["config"]][0]
+
+    def test_dp8_throughput_and_energy(self, fig11):
+        """Paper: +53% throughput, 4.4x energy efficiency."""
+        row = self._row(fig11, "DP=8")
+        assert row["throughput_delta"] == pytest.approx(0.53, abs=0.12)
+        assert row["energy_eff_ratio"] == pytest.approx(4.4, rel=0.15)
+
+    def test_dp4_mp2_latency_cut(self, fig11):
+        """Paper: 44% lower latency than DP=8, +36% throughput."""
+        row = self._row(fig11, "DP=4 x MP=2")
+        assert row["latency_vs_dp8"] == pytest.approx(-0.44, abs=0.08)
+        assert row["throughput_delta"] == pytest.approx(0.36, abs=0.20)
+
+    def test_mp8_beats_gpu_on_all_axes(self, fig11):
+        """Paper: -23% latency, +31% throughput, 2.9x energy."""
+        row = self._row(fig11, "DP=1 x MP=8")
+        assert row["latency_delta"] == pytest.approx(-0.23, abs=0.10)
+        assert row["throughput_delta"] == pytest.approx(0.31, abs=0.12)
+        assert row["energy_eff_ratio"] > 2.5
+
+    def test_latency_throughput_tradeoff_monotone(self, fig11):
+        """More model parallelism -> lower latency, lower throughput."""
+        pnm_rows = [r for r in fig11.rows if "CXL-PNM" in r["config"]]
+        latencies = [r["latency_s"] for r in pnm_rows]
+        throughputs = [r["throughput_tok_s"] for r in pnm_rows]
+        assert latencies == sorted(latencies, reverse=True)
+        assert throughputs == sorted(throughputs, reverse=True)
+
+
+class TestTable3Anchors:
+    def test_daily_quantities_near_paper(self):
+        rows = run_experiment("table3").rows
+        gpu = [r for r in rows if "GPU" in r["appliance"]][0]
+        pnm = [r for r in rows if r["appliance"].startswith("CXL-PNM")][0]
+        # Paper: 3.7 / 5.65 M tokens, 43.2 / 15.4 kWh, $4.47 / $1.59.
+        assert gpu["Mtokens_per_day"] == pytest.approx(3.7, rel=0.12)
+        assert pnm["Mtokens_per_day"] == pytest.approx(5.65, rel=0.12)
+        assert gpu["kwh_per_day"] == pytest.approx(43.2, rel=0.12)
+        assert pnm["kwh_per_day"] == pytest.approx(15.4, rel=0.12)
+        assert gpu["usd_per_day"] == pytest.approx(4.47, rel=0.12)
+        assert pnm["usd_per_day"] == pytest.approx(1.59, rel=0.12)
+
+    def test_hardware_cost_30_percent_lower(self):
+        rows = run_experiment("table3").rows
+        ratio_row = [r for r in rows if "ratio" in r["appliance"]][0]
+        assert ratio_row["hardware_usd"] == pytest.approx(10 / 7, rel=0.01)
+
+
+class TestScalabilityAnchors:
+    def test_device_counts_and_cost_saving(self):
+        rows = run_experiment("scalability").rows
+        pnm = [r for r in rows if r["platform"] == "CXL-PNM"][0]
+        gpu = [r for r in rows if r["platform"].startswith("GPU")][0]
+        saving = [r for r in rows if "saving" in r["platform"]][0]
+        assert pnm["devices"] == 3
+        assert gpu["devices"] == 16
+        assert saving["hardware_usd"] == pytest.approx(0.87, abs=0.02)
+
+    def test_gpu_comm_share_exceeds_pnm(self):
+        rows = run_experiment("scalability").rows
+        pnm = [r for r in rows if r["platform"] == "CXL-PNM"][0]
+        gpu = [r for r in rows if r["platform"].startswith("GPU")][0]
+        assert gpu["comm_fraction"] > 3 * pnm["comm_fraction"]
+        assert gpu["comm_fraction"] == pytest.approx(0.30, abs=0.08)

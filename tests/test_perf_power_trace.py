@@ -1,0 +1,77 @@
+"""Power traces: timeline structure and energy consistency."""
+
+import pytest
+
+from repro.accelerator import CXLPNMDevice
+from repro.errors import ConfigurationError
+from repro.gpu import A100_40G
+from repro.llm import OPT_13B, OPT_1_3B
+from repro.perf.analytical import GpuPerfModel, InferenceTimer, PnmPerfModel
+from repro.perf.power_trace import power_trace
+
+
+@pytest.fixture(scope="module")
+def pnm_trace():
+    return power_trace(OPT_13B, PnmPerfModel(CXLPNMDevice()), 64, 256)
+
+
+class TestTimeline:
+    def test_segments_contiguous(self, pnm_trace):
+        samples = pnm_trace.samples
+        for prev, cur in zip(samples, samples[1:]):
+            assert cur.t_start_s == pytest.approx(prev.t_end_s)
+
+    def test_first_segment_is_sum_stage(self, pnm_trace):
+        assert pnm_trace.samples[0].stage == "sum"
+
+    def test_total_time_matches_timer(self, pnm_trace):
+        timer = InferenceTimer(OPT_13B, PnmPerfModel(CXLPNMDevice()))
+        reference = timer.run(64, 256)
+        assert pnm_trace.total_time_s == pytest.approx(
+            reference.latency_s, rel=0.02)
+
+    def test_total_energy_matches_timer(self, pnm_trace):
+        timer = InferenceTimer(OPT_13B, PnmPerfModel(CXLPNMDevice()))
+        reference = timer.run(64, 256)
+        assert pnm_trace.total_energy_j == pytest.approx(
+            reference.energy_j, rel=0.02)
+
+    def test_segment_cap_respected(self):
+        trace = power_trace(OPT_1_3B, PnmPerfModel(CXLPNMDevice()), 16,
+                            512, max_segments=8)
+        gen_segments = [s for s in trace.samples if s.stage != "sum"]
+        assert len(gen_segments) <= 8
+
+
+class TestPowerShape:
+    def test_power_within_device_envelope(self, pnm_trace):
+        assert pnm_trace.peak_power_w <= 150.0
+        assert pnm_trace.mean_power_w > 0
+
+    def test_gen_dominates_energy_for_long_outputs(self, pnm_trace):
+        by_stage = pnm_trace.energy_by_stage()
+        assert by_stage["gen"] > 5 * by_stage["sum"]
+
+    def test_gpu_power_higher_than_pnm(self):
+        gpu = power_trace(OPT_13B, GpuPerfModel(A100_40G), 64, 128)
+        pnm = power_trace(OPT_13B, PnmPerfModel(CXLPNMDevice()), 64, 128)
+        assert gpu.mean_power_w > 2 * pnm.mean_power_w
+
+    def test_rows_plot_ready(self, pnm_trace):
+        rows = pnm_trace.rows()
+        assert len(rows) == len(pnm_trace.samples)
+        assert set(rows[0]) == {"t_start_s", "t_end_s", "watts", "stage"}
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        model = PnmPerfModel(CXLPNMDevice())
+        with pytest.raises(ConfigurationError):
+            power_trace(OPT_13B, model, 0, 10)
+        with pytest.raises(ConfigurationError):
+            power_trace(OPT_13B, model, 10, 10, max_segments=0)
+
+    def test_single_token_has_only_sum(self):
+        trace = power_trace(OPT_1_3B, PnmPerfModel(CXLPNMDevice()), 16, 1)
+        assert len(trace.samples) == 1
+        assert trace.samples[0].stage == "sum"

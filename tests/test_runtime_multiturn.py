@@ -1,0 +1,73 @@
+"""Multi-turn conversations: device-resident KV context across turns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.llm import KVState, ReferenceModel, random_weights, tiny_config
+from repro.runtime import InferenceSession
+
+
+def _reference_chat(model, turns):
+    """Reference multi-turn: one persistent KV state across turns."""
+    kv = KVState()
+    outputs = []
+    for prompt, num_tokens in turns:
+        logits = model.forward(list(prompt), kv)
+        tokens = [int(np.argmax(logits))]
+        for _ in range(num_tokens - 1):
+            logits = model.forward([tokens[-1]], kv)
+            tokens.append(int(np.argmax(logits)))
+        outputs.append(tokens)
+    return outputs
+
+
+class TestMultiTurn:
+    def test_two_turns_match_reference(self):
+        cfg = tiny_config()
+        weights = random_weights(cfg, seed=17)
+        session = InferenceSession(weights, simulate_timing=False)
+        model = ReferenceModel(weights)
+        turns = [([5, 9, 13], 4), ([2, 4], 3)]
+        expected = _reference_chat(model, turns)
+        got = [session.generate(turns[0][0], turns[0][1]).tokens,
+               session.extend(turns[1][0], turns[1][1]).tokens]
+        assert got == expected
+
+    def test_three_turns_context_accumulates(self):
+        cfg = tiny_config()
+        weights = random_weights(cfg, seed=18)
+        session = InferenceSession(weights, simulate_timing=False)
+        session.generate([1, 2], 2)      # KV: 2 prompt + 1 fed back
+        session.extend([3], 2)           # KV: 3 + 1 + 1
+        session.extend([4, 5], 1)        # KV: 5 + 2 + 0
+        assert session.context_len == 7
+
+    def test_extend_equals_concatenated_generate(self):
+        """Chatting turn-by-turn must equal one long generation when the
+        intermediate outputs are fed back as the next turn's prompt."""
+        cfg = tiny_config()
+        weights = random_weights(cfg, seed=19)
+        model = ReferenceModel(weights)
+        session = InferenceSession(weights, simulate_timing=False)
+        first = session.generate([7, 8, 9], 3).tokens
+        second = session.extend([11], 2).tokens
+        expected = _reference_chat(model, [([7, 8, 9], 3), ([11], 2)])
+        assert [first, second] == expected
+
+    def test_extend_respects_max_seq_len(self):
+        cfg = tiny_config(max_seq_len=12)
+        session = InferenceSession(random_weights(cfg, seed=20),
+                                   simulate_timing=False)
+        session.generate([1, 2, 3, 4], 4)
+        with pytest.raises(CapacityError):
+            session.extend([5, 6], 4)
+
+    def test_reset_clears_context(self):
+        cfg = tiny_config()
+        weights = random_weights(cfg, seed=21)
+        session = InferenceSession(weights, simulate_timing=False)
+        a = session.generate([3, 4], 3).tokens
+        session.reset()
+        b = session.generate([3, 4], 3).tokens
+        assert a == b

@@ -1,0 +1,45 @@
+"""TCO sensitivity: the conclusion must survive the whole swept space."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("sensitivity")
+
+
+class TestSensitivity:
+    def test_full_grid_covered(self, result):
+        assert len(result.rows) == 3 * 3 * 3
+
+    def test_pnm_wins_every_point(self, result):
+        assert all(row["pnm_advantage"] > 1.0 for row in result.rows)
+        assert result.anchors["worst_case_pnm_advantage"] > 1.3
+
+    def test_expensive_electricity_amplifies_advantage(self, result):
+        fixed = [r for r in result.rows
+                 if r["pnm_device_usd"] == 7000.0
+                 and r["lifetime_years"] == 3.0]
+        ordered = sorted(fixed, key=lambda r: r["usd_per_kwh"])
+        advantages = [r["pnm_advantage"] for r in ordered]
+        assert advantages == sorted(advantages)
+
+    def test_pricier_pnm_devices_shrink_advantage(self, result):
+        fixed = [r for r in result.rows
+                 if r["usd_per_kwh"] == 0.1035
+                 and r["lifetime_years"] == 3.0]
+        ordered = sorted(fixed, key=lambda r: r["pnm_device_usd"])
+        advantages = [r["pnm_advantage"] for r in ordered]
+        assert advantages == sorted(advantages, reverse=True)
+
+    def test_longer_lifetime_shifts_weight_to_energy(self, result):
+        """As hardware amortizes away, the energy advantage dominates,
+        so the PNM edge grows with lifetime."""
+        fixed = [r for r in result.rows
+                 if r["usd_per_kwh"] == 0.1035
+                 and r["pnm_device_usd"] == 7000.0]
+        ordered = sorted(fixed, key=lambda r: r["lifetime_years"])
+        advantages = [r["pnm_advantage"] for r in ordered]
+        assert advantages == sorted(advantages)

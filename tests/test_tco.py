@@ -1,0 +1,98 @@
+"""TCO models: daily operation, cost, CO2, efficiency metrics."""
+
+import pytest
+
+from repro.appliance import GpuAppliance, ParallelismPlan, PnmAppliance
+from repro.errors import ConfigurationError
+from repro.gpu import A100_40G
+from repro.llm import OPT_66B
+from repro.tco import (
+    CO2_KG_PER_KWH,
+    CostSummary,
+    ELECTRICITY_USD_PER_KWH,
+    cost_summary,
+    daily_operation,
+)
+
+
+@pytest.fixture(scope="module")
+def pnm_result():
+    return PnmAppliance(num_devices=8).run(OPT_66B, ParallelismPlan(8, 1),
+                                           64, 1024)
+
+
+class TestDailyOperation:
+    def test_projection_scales_throughput(self, pnm_result):
+        op = daily_operation(pnm_result)
+        assert op.tokens_per_day == pytest.approx(
+            pnm_result.throughput_tokens_per_s * 86_400)
+
+    def test_duty_cycle_scales_both(self, pnm_result):
+        full = daily_operation(pnm_result)
+        half = daily_operation(pnm_result, duty_cycle=0.5)
+        assert half.tokens_per_day == pytest.approx(full.tokens_per_day / 2)
+        assert half.kwh_per_day == pytest.approx(full.kwh_per_day / 2)
+
+    def test_bad_duty_cycle(self, pnm_result):
+        with pytest.raises(ConfigurationError):
+            daily_operation(pnm_result, duty_cycle=0.0)
+
+    def test_tokens_per_kwh(self, pnm_result):
+        op = daily_operation(pnm_result)
+        assert op.tokens_per_kwh == pytest.approx(
+            op.tokens_per_day / op.kwh_per_day)
+
+
+class TestCostSummary:
+    def test_electricity_at_idaho_rate(self, pnm_result):
+        summary = cost_summary(daily_operation(pnm_result), 56_000)
+        assert summary.operating_cost_usd_per_day == pytest.approx(
+            summary.kwh_per_day * ELECTRICITY_USD_PER_KWH)
+
+    def test_co2_proportional_to_energy(self, pnm_result):
+        summary = cost_summary(daily_operation(pnm_result), 56_000)
+        assert summary.co2_kg_per_day == pytest.approx(
+            summary.kwh_per_day * CO2_KG_PER_KWH)
+
+    def test_table3_implied_carbon_intensity(self):
+        # 2.46 kg over 43.2 kWh (Table III) ~ Idaho's hydro grid.
+        assert CO2_KG_PER_KWH == pytest.approx(0.0569, abs=0.001)
+
+    def test_efficiency_metrics(self, pnm_result):
+        summary = cost_summary(daily_operation(pnm_result), 56_000)
+        assert summary.cost_efficiency_tokens_per_usd == pytest.approx(
+            summary.tokens_per_day / summary.operating_cost_usd_per_day)
+        assert summary.co2_efficiency_tokens_per_kg > 0
+
+    def test_amortized_tco_includes_hardware(self, pnm_result):
+        summary = cost_summary(daily_operation(pnm_result), 56_000)
+        amortized = summary.amortized_cost_per_day(lifetime_years=3)
+        assert amortized == pytest.approx(
+            56_000 / (3 * 365) + summary.operating_cost_usd_per_day)
+        assert summary.tco_tokens_per_usd(3) \
+            < summary.cost_efficiency_tokens_per_usd
+
+    def test_bad_lifetime(self, pnm_result):
+        summary = cost_summary(daily_operation(pnm_result), 56_000)
+        with pytest.raises(ConfigurationError):
+            summary.amortized_cost_per_day(0)
+
+    def test_negative_hardware_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostSummary(name="x", hardware_cost_usd=-1, tokens_per_day=1,
+                        kwh_per_day=1)
+
+
+class TestCrossApplianceTco:
+    def test_pnm_wins_on_every_tco_axis(self, pnm_result):
+        gpu_result = GpuAppliance(A100_40G, 8).run(
+            OPT_66B, ParallelismPlan(1, 8), 64, 1024)
+        gpu = cost_summary(daily_operation(gpu_result), 80_000)
+        pnm = cost_summary(daily_operation(pnm_result), 56_000)
+        assert pnm.hardware_cost_usd < gpu.hardware_cost_usd
+        assert pnm.operating_cost_usd_per_day \
+            < gpu.operating_cost_usd_per_day
+        assert pnm.co2_kg_per_day < gpu.co2_kg_per_day
+        assert pnm.cost_efficiency_tokens_per_usd \
+            > 3 * gpu.cost_efficiency_tokens_per_usd
+        assert pnm.tco_tokens_per_usd(3) > gpu.tco_tokens_per_usd(3)

@@ -1,0 +1,44 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_decimal_units_scale_by_thousand():
+    assert units.KB * 1000 == units.MB
+    assert units.MB * 1000 == units.GB
+    assert units.GB * 1000 == units.TB
+
+
+def test_binary_units_scale_by_1024():
+    assert units.KiB * 1024 == units.MiB
+    assert units.MiB * 1024 == units.GiB
+    assert units.GiB * 1024 == units.TiB
+
+
+def test_gib_larger_than_gb():
+    assert units.GiB > units.GB
+
+
+def test_gbps_to_bytes_per_s():
+    assert units.gbps_to_bytes_per_s(8.0) == pytest.approx(1e9)
+
+
+def test_bytes_to_gib_roundtrip():
+    assert units.bytes_to_gib(units.GiB) == pytest.approx(1.0)
+    assert units.bytes_to_gb(units.GB) == pytest.approx(1.0)
+
+
+def test_bandwidth_formatting_helpers():
+    assert units.bytes_per_s_to_gb_per_s(2.5e9) == pytest.approx(2.5)
+    assert units.bytes_per_s_to_tb_per_s(1.1e12) == pytest.approx(1.1)
+
+
+def test_joules_to_kwh():
+    assert units.joules_to_kwh(units.KILOWATT_HOUR) == pytest.approx(1.0)
+    assert units.joules_to_kwh(3.6e6 * 24) == pytest.approx(24.0)
+
+
+def test_seconds_per_day():
+    assert units.SECONDS_PER_DAY == 86_400.0
