@@ -25,6 +25,7 @@ from repro.accelerator.memory import DeviceMemory
 from repro.accelerator.registers import RegisterFileState
 from repro.errors import ExecutionError
 from repro.llm.reference import causal_mask, gelu, layernorm, softmax
+from repro.obs.context import get_metrics, get_tracer
 
 
 @dataclass
@@ -48,10 +49,13 @@ class Executor:
     """Interprets acceleration code against device memory and registers."""
 
     def __init__(self, memory: DeviceMemory,
-                 registers: Optional[RegisterFileState] = None):
+                 registers: Optional[RegisterFileState] = None,
+                 tracer=None, metrics=None):
         self.memory = memory
         self.registers = registers or RegisterFileState()
         self.stats = ExecutionStats()
+        self._tracer = tracer
+        self._metrics = metrics
 
     # -- helpers ----------------------------------------------------------
 
@@ -192,78 +196,104 @@ class Executor:
     # -- dispatch -----------------------------------------------------------
 
     def execute(self, program: Sequence[isa.Instruction]) -> ExecutionStats:
-        """Run a program to completion, returning accumulated statistics."""
+        """Run a program to completion, returning accumulated statistics.
+
+        When a tracer/registry is injected (or ambient via
+        :func:`repro.obs.observe`), each instruction is additionally
+        recorded as a wall-clock span and an opcode-labelled counter;
+        the functional results are identical either way.
+        """
         isa.validate_program(tuple(program))
-        for instr in program:
-            extra = 0.0
-            if isinstance(instr, isa.DmaLoad):
-                self._exec_dma_load(instr)
-            elif isinstance(instr, isa.DmaStore):
-                extra = self._exec_dma_store(instr)
-            elif isinstance(instr, isa.DmaGather):
-                self._exec_dma_gather(instr)
-            elif isinstance(instr, isa.MpuMmPea):
-                self._exec_mm_pea(instr)
-            elif isinstance(instr, isa.MpuMv):
-                self._exec_mv(instr)
-            elif isinstance(instr, isa.MpuMaskedMm):
-                self._exec_masked_mm(instr)
-            elif isinstance(instr, isa.MpuAttnContext):
-                self._exec_attn_ctx(instr)
-            elif isinstance(instr, isa.MpuConv2d):
-                self._exec_conv2d(instr)
-            elif isinstance(instr, isa.MpuTranspose):
-                self._exec_transpose(instr)
-            elif isinstance(instr, isa.VpuAdd):
-                self.registers.write(
-                    instr.dst, self.registers.read(instr.a)
-                    + self.registers.read(instr.b))
-            elif isinstance(instr, isa.VpuMul):
-                self.registers.write(
-                    instr.dst, self.registers.read(instr.a)
-                    * self.registers.read(instr.b))
-            elif isinstance(instr, isa.VpuScale):
-                self.registers.write(
-                    instr.dst,
-                    self.registers.read(instr.src) * np.float32(
-                        instr.constant))
-            elif isinstance(instr, isa.VpuBias):
-                self._exec_bias(instr)
-            elif isinstance(instr, isa.VpuGelu):
-                self.registers.write(instr.dst,
-                                     gelu(self.registers.read(instr.src)))
-            elif isinstance(instr, isa.VpuSoftmax):
-                self._exec_softmax(instr)
-            elif isinstance(instr, isa.VpuLayerNorm):
-                self._exec_layernorm(instr)
-            elif isinstance(instr, isa.VpuArgmax):
-                src = self._reg2d(instr.src)
-                self.registers.write(
-                    instr.dst,
-                    np.array([np.argmax(src[-1])], dtype=np.float32))
-            elif isinstance(instr, isa.VpuSlice):
-                src = self._reg2d(instr.src)
-                if instr.stop > src.shape[-1]:
-                    raise ExecutionError(
-                        f"VPU_SLICE [{instr.start}:{instr.stop}) exceeds "
-                        f"width {src.shape[-1]}")
-                self.registers.write(
-                    instr.dst,
-                    np.ascontiguousarray(src[:, instr.start:instr.stop]))
-            elif isinstance(instr, isa.VpuRow):
-                src = self._reg2d(instr.src)
-                row = instr.row if instr.row >= 0 else src.shape[0] + instr.row
-                if not 0 <= row < src.shape[0]:
-                    raise ExecutionError(
-                        f"VPU_ROW {instr.row} outside {src.shape[0]} rows")
-                self.registers.write(instr.dst, src[row:row + 1].copy())
-            elif isinstance(instr, isa.Free):
-                for reg in instr.regs:
-                    self.registers.free(reg)
-            elif isinstance(instr, isa.Barrier):
-                pass
-            else:
-                raise ExecutionError(
-                    f"no functional semantics for {type(instr).__name__}")
-            self.stats.record(instr, extra)
+        tracer = get_tracer(self._tracer)
+        metrics = get_metrics(self._metrics)
+        with tracer.span("executor.execute", category="accelerator",
+                         instructions=len(program)):
+            for instr in program:
+                if tracer.enabled:
+                    with tracer.span(instr.opcode,
+                                     category="accelerator"):
+                        extra = self._dispatch(instr)
+                else:
+                    extra = self._dispatch(instr)
+                if metrics.enabled:
+                    metrics.counter("executor.instructions",
+                                    opcode=instr.opcode).inc()
+                    metrics.counter("executor.flops").inc(instr.flops())
+                    metrics.counter("executor.mem_elems").inc(
+                        instr.mem_elems() + extra)
+                self.stats.record(instr, extra)
         return self.stats
+
+    def _dispatch(self, instr: isa.Instruction) -> float:
+        """Execute one instruction; returns extra memory elements."""
+        extra = 0.0
+        if isinstance(instr, isa.DmaLoad):
+            self._exec_dma_load(instr)
+        elif isinstance(instr, isa.DmaStore):
+            extra = self._exec_dma_store(instr)
+        elif isinstance(instr, isa.DmaGather):
+            self._exec_dma_gather(instr)
+        elif isinstance(instr, isa.MpuMmPea):
+            self._exec_mm_pea(instr)
+        elif isinstance(instr, isa.MpuMv):
+            self._exec_mv(instr)
+        elif isinstance(instr, isa.MpuMaskedMm):
+            self._exec_masked_mm(instr)
+        elif isinstance(instr, isa.MpuAttnContext):
+            self._exec_attn_ctx(instr)
+        elif isinstance(instr, isa.MpuConv2d):
+            self._exec_conv2d(instr)
+        elif isinstance(instr, isa.MpuTranspose):
+            self._exec_transpose(instr)
+        elif isinstance(instr, isa.VpuAdd):
+            self.registers.write(
+                instr.dst, self.registers.read(instr.a)
+                + self.registers.read(instr.b))
+        elif isinstance(instr, isa.VpuMul):
+            self.registers.write(
+                instr.dst, self.registers.read(instr.a)
+                * self.registers.read(instr.b))
+        elif isinstance(instr, isa.VpuScale):
+            self.registers.write(
+                instr.dst,
+                self.registers.read(instr.src) * np.float32(
+                    instr.constant))
+        elif isinstance(instr, isa.VpuBias):
+            self._exec_bias(instr)
+        elif isinstance(instr, isa.VpuGelu):
+            self.registers.write(instr.dst,
+                                 gelu(self.registers.read(instr.src)))
+        elif isinstance(instr, isa.VpuSoftmax):
+            self._exec_softmax(instr)
+        elif isinstance(instr, isa.VpuLayerNorm):
+            self._exec_layernorm(instr)
+        elif isinstance(instr, isa.VpuArgmax):
+            src = self._reg2d(instr.src)
+            self.registers.write(
+                instr.dst,
+                np.array([np.argmax(src[-1])], dtype=np.float32))
+        elif isinstance(instr, isa.VpuSlice):
+            src = self._reg2d(instr.src)
+            if instr.stop > src.shape[-1]:
+                raise ExecutionError(
+                    f"VPU_SLICE [{instr.start}:{instr.stop}) exceeds "
+                    f"width {src.shape[-1]}")
+            self.registers.write(
+                instr.dst,
+                np.ascontiguousarray(src[:, instr.start:instr.stop]))
+        elif isinstance(instr, isa.VpuRow):
+            src = self._reg2d(instr.src)
+            row = instr.row if instr.row >= 0 else src.shape[0] + instr.row
+            if not 0 <= row < src.shape[0]:
+                raise ExecutionError(
+                    f"VPU_ROW {instr.row} outside {src.shape[0]} rows")
+            self.registers.write(instr.dst, src[row:row + 1].copy())
+        elif isinstance(instr, isa.Free):
+            for reg in instr.regs:
+                self.registers.free(reg)
+        elif isinstance(instr, isa.Barrier):
+            pass
+        else:
+            raise ExecutionError(
+                f"no functional semantics for {type(instr).__name__}")
+        return extra

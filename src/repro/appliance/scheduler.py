@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.llm.config import LLMConfig
 from repro.llm.workload import InferenceRequest
+from repro.obs.context import get_metrics, get_tracer
 from repro.perf.analytical import DevicePerfModel, InferenceTimer
 
 #: Seconds to serve one request: (request) -> latency.
@@ -92,6 +93,20 @@ class ServiceStats:
         return busy / (self.makespan_s * self.num_instances) \
             if self.makespan_s else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready flat view, for exporters and benchmarks."""
+        return {
+            "requests": float(len(self.completed)),
+            "num_instances": float(self.num_instances),
+            "makespan_s": self.makespan_s,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "instance_utilization": self.instance_utilization,
+        }
+
 
 @dataclass
 class RequestScheduler:
@@ -100,10 +115,14 @@ class RequestScheduler:
     Attributes:
         service: Per-request latency model (one instance, exclusive).
         num_instances: Concurrent model instances (the appliance's DP).
+        tracer: Optional span tracer; defaults to the ambient/no-op one.
+        metrics: Optional metrics registry, resolved the same way.
     """
 
     service: ServiceModel
     num_instances: int
+    tracer: Optional[object] = None
+    metrics: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.num_instances < 1:
@@ -123,22 +142,66 @@ class RequestScheduler:
         if len(arrival_times) != len(requests):
             raise ConfigurationError(
                 "arrival_times must match requests in length")
-        # Instance availability as a min-heap of free times.
-        free_at = [0.0] * self.num_instances
+        tracer = get_tracer(self.tracer)
+        metrics = get_metrics(self.metrics)
+        # Instance availability as a min-heap of (free time, instance).
+        free_at = [(0.0, i) for i in range(self.num_instances)]
         heapq.heapify(free_at)
         completed: List[CompletedRequest] = []
-        for request, arrival in sorted(zip(requests, arrival_times),
-                                       key=lambda p: p[1]):
-            instance_free = heapq.heappop(free_at)
-            start = max(arrival, instance_free)
-            finish = start + self.service(request)
-            heapq.heappush(free_at, finish)
-            completed.append(CompletedRequest(
-                request=request, arrival_s=arrival, start_s=start,
-                finish_s=finish))
+        with tracer.span("scheduler.run", category="scheduler",
+                         requests=len(requests),
+                         instances=self.num_instances):
+            for request, arrival in sorted(zip(requests, arrival_times),
+                                           key=lambda p: p[1]):
+                instance_free, instance = heapq.heappop(free_at)
+                start = max(arrival, instance_free)
+                finish = start + self.service(request)
+                heapq.heappush(free_at, (finish, instance))
+                completed.append(CompletedRequest(
+                    request=request, arrival_s=arrival, start_s=start,
+                    finish_s=finish))
+                if tracer.enabled:
+                    tracer.sim_span(
+                        "request", start_s=start,
+                        dur_s=finish - start,
+                        track=f"scheduler.instance{instance}",
+                        category="scheduler",
+                        args={"request_id": request.request_id,
+                              "queue_wait_s": start - arrival,
+                              "output_tokens": request.output_len})
+                if metrics.enabled:
+                    metrics.counter("scheduler.requests").inc()
+                    metrics.counter("scheduler.tokens").inc(
+                        request.output_len)
+                    metrics.histogram("scheduler.queue_wait_s").observe(
+                        start - arrival)
+                    metrics.histogram("scheduler.latency_s").observe(
+                        finish - arrival)
+        if metrics.enabled:
+            self._observe_queue_depth(metrics, completed)
         makespan = max(c.finish_s for c in completed)
         return ServiceStats(completed=completed, makespan_s=makespan,
                             num_instances=self.num_instances)
+
+    @staticmethod
+    def _observe_queue_depth(metrics, completed: List[CompletedRequest]
+                             ) -> None:
+        """Sweep arrival/start events and gauge the waiting-queue depth.
+
+        The gauge's min/max envelope captures the deepest backlog of the
+        run — an open-loop overload shows up here before it shows up in
+        p95 latency.
+        """
+        gauge = metrics.gauge("scheduler.queue_depth")
+        # Arrivals before starts at equal timestamps, so an immediately-
+        # dispatched request never drives the gauge negative.
+        events = sorted([(c.arrival_s, 1) for c in completed]
+                        + [(c.start_s, -1) for c in completed],
+                        key=lambda e: (e[0], -e[1]))
+        depth = 0
+        for _t, delta in events:
+            depth += delta
+            gauge.set(depth)
 
 
 def poisson_arrivals(num_requests: int, rate_per_s: float,

@@ -14,20 +14,65 @@ Commands:
   CXL-PNM and the A100.
 * ``generate [--layers N ...]`` — run a miniature model functionally
   through the full simulated stack and print the tokens.
+* ``trace summarize <file>`` — top spans of an exported trace by
+  cumulative simulated time.
+
+``run`` and ``generate`` accept ``--trace-out FILE`` and
+``--metrics-out FILE``: they install a process-wide tracer/registry
+(:func:`repro.obs.observe`) for the command, then export a Chrome-trace
+JSON (load it in ``chrome://tracing`` or https://ui.perfetto.dev) and a
+flat metrics dump.  Observability never changes the numbers printed.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core import CxlPnmPlatform
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.gpu import A100_40G
 from repro.llm import MODEL_ZOO, get_model, random_weights, tiny_config
 from repro.perf.analytical import GpuPerfModel, InferenceTimer
 from repro.units import GiB, TB
+
+
+@contextlib.contextmanager
+def _observability(args) -> Iterator[None]:
+    """Install an ambient tracer/registry when export flags ask for it."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield
+        return
+    for path in (trace_out, metrics_out):
+        if not path:
+            continue
+        # Fail before the (possibly long) run, not after it.
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            raise ConfigurationError(
+                f"output directory does not exist: {parent}")
+    from repro.obs import observe, write_chrome_trace, write_metrics_json
+    with observe() as (tracer, metrics):
+        yield
+    if trace_out:
+        write_chrome_trace(tracer, trace_out)
+        print(f"wrote {len(tracer.spans)} spans "
+              f"({', '.join(tracer.categories())}) to {trace_out}")
+    if metrics_out:
+        write_metrics_json(metrics, metrics_out)
+        print(f"wrote metrics to {metrics_out}")
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="export a Chrome-trace JSON of the run")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="export a JSON metrics dump of the run")
 
 
 def _cmd_experiments(_args) -> int:
@@ -113,6 +158,14 @@ def _cmd_roofline(args) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs import render_summary, summarize_trace_file
+    rows = summarize_trace_file(args.file, top_n=args.top)
+    print(render_summary(
+        rows, title=f"top {args.top} spans by cumulative simulated time"))
+    return 0
+
+
 def _cmd_generate(args) -> int:
     config = tiny_config(num_layers=args.layers, d_model=args.d_model,
                          num_heads=args.heads)
@@ -141,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (default: all)")
     run.add_argument("--export", default=None,
                      help="directory for JSON/CSV exports")
+    _add_observability_flags(run)
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("models",
@@ -175,7 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--num-tokens", type=int, default=8)
     generate.add_argument("--prompt", type=int, nargs="+",
                           default=[1, 2, 3])
+    _add_observability_flags(generate)
     generate.set_defaults(func=_cmd_generate)
+
+    trace = sub.add_parser("trace", help="inspect exported trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="top spans by cumulative simulated time")
+    summarize.add_argument("file", help="Chrome-trace JSON from "
+                                        "--trace-out")
+    summarize.add_argument("--top", type=int, default=20)
+    summarize.set_defaults(func=_cmd_trace_summarize)
     return parser
 
 
@@ -183,8 +247,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
-    except ReproError as error:
+        with _observability(args):
+            return args.func(args)
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -22,6 +22,12 @@ from typing import Dict, List, Tuple
 
 from repro.cxl.protocol import CACHELINE_BYTES, Source
 from repro.errors import ConfigurationError
+from repro.obs.context import get_metrics, get_tracer
+
+#: Blocking-poll task windows traced per ``simulate`` call; long
+#: intervals contain thousands of identical windows, so the trace keeps
+#: the first few and notes the truncation in the span args.
+MAX_TRACED_TASK_WINDOWS = 128
 
 
 class ArbitrationPolicy(enum.Enum):
@@ -60,6 +66,15 @@ class ArbiterStats:
 
     def bandwidth(self, source: Source, interval_s: float) -> float:
         return self.served_bytes.get(source, 0.0) / interval_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready flat view, for exporters and benchmarks."""
+        out: Dict[str, float] = {"host_blocked_s": self.host_blocked_s}
+        for source, nbytes in self.served_bytes.items():
+            out[f"served_bytes.{source.name}"] = nbytes
+        for source, wait in self.mean_wait_s.items():
+            out[f"mean_wait_s.{source.name}"] = wait
+        return out
 
 
 @dataclass(frozen=True)
@@ -103,6 +118,48 @@ class Arbiter:
                     grant[other] = min(demand[other], grant[other] + slack)
         return grant
 
+    def _observe(self, policy: ArbitrationPolicy, stats: ArbiterStats,
+                 pnm_task_s: float, interval_s: float) -> None:
+        """Record queue waits, served bytes, and service-window spans.
+
+        Observability only — called after ``stats`` is final, so results
+        are identical whether or not a tracer/registry is installed.
+        """
+        metrics = get_metrics()
+        if metrics.enabled:
+            for source, nbytes in stats.served_bytes.items():
+                metrics.counter("cxl.arbiter.served_bytes",
+                                source=source.name,
+                                policy=policy.value).inc(nbytes)
+            for source, wait in stats.mean_wait_s.items():
+                metrics.histogram("cxl.arbiter.wait_s",
+                                  source=source.name,
+                                  policy=policy.value).observe(wait)
+            metrics.counter("cxl.arbiter.host_blocked_s",
+                            policy=policy.value).inc(stats.host_blocked_s)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        if policy is ArbitrationPolicy.HARDWARE_WRR:
+            for source, nbytes in stats.served_bytes.items():
+                tracer.sim_span(
+                    f"wrr.{source.name.lower()}", start_s=0.0,
+                    dur_s=interval_s, track="cxl.arbiter",
+                    category="cxl",
+                    args={"served_GB": nbytes / 1e9,
+                          "mean_wait_us":
+                              stats.mean_wait_s[source] * 1e6})
+            return
+        cycle = pnm_task_s + self.poll_interval_s / 2.0
+        tasks = int(interval_s // cycle)
+        traced = min(tasks, MAX_TRACED_TASK_WINDOWS)
+        for i in range(traced):
+            tracer.sim_span(
+                "pnm_task(host blocked)", start_s=i * cycle,
+                dur_s=pnm_task_s, track="cxl.arbiter", category="cxl",
+                args=({"tasks_total": tasks, "tasks_traced": traced}
+                      if i == 0 else None))
+
     def simulate(self, policy: ArbitrationPolicy,
                  host: RequestStream, pnm: RequestStream,
                  pnm_task_s: float, interval_s: float) -> ArbiterStats:
@@ -127,6 +184,7 @@ class Arbiter:
                 stats.mean_wait_s[source] = service * (
                     1.0 + rho / (2.0 * (1.0 - rho)))
             stats.host_blocked_s = 0.0
+            self._observe(policy, stats, pnm_task_s, interval_s)
             return stats
 
         # Blocking-poll: tasks alternate with poll-delayed host windows.
@@ -147,6 +205,7 @@ class Arbiter:
             pnm_task_s / 2.0 + self.poll_interval_s / 2.0)
         stats.mean_wait_s[Source.PNM] = (
             CACHELINE_BYTES / self.memory_bandwidth)
+        self._observe(policy, stats, pnm_task_s, interval_s)
         return stats
 
 

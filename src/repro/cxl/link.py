@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.context import get_metrics
 from repro.units import Gbps, NANOSECOND
 
 FLIT_BYTES = 68
@@ -90,11 +91,22 @@ class CXLLink:
         if num_bytes == 0:
             return 0.0
         if pipelined:
-            return self.read_latency_s + num_bytes / self.effective_bandwidth
-        lines = (int(num_bytes) + FLIT_PAYLOAD_BYTES - 1) \
-            // FLIT_PAYLOAD_BYTES
-        return lines * (self.read_latency_s
-                        + FLIT_PAYLOAD_BYTES / self.effective_bandwidth)
+            time_s = self.read_latency_s \
+                + num_bytes / self.effective_bandwidth
+        else:
+            lines = (int(num_bytes) + FLIT_PAYLOAD_BYTES - 1) \
+                // FLIT_PAYLOAD_BYTES
+            time_s = lines * (self.read_latency_s
+                              + FLIT_PAYLOAD_BYTES
+                              / self.effective_bandwidth)
+        metrics = get_metrics()
+        if metrics.enabled:
+            mode = "pipelined" if pipelined else "per-line"
+            metrics.histogram("cxl.link.transfer_s",
+                              mode=mode).observe(time_s)
+            metrics.counter("cxl.link.bytes", mode=mode).inc(num_bytes)
+            metrics.counter("cxl.link.transfers", mode=mode).inc()
+        return time_s
 
 
 #: The CXL-PNM card's port (Gen5 x16).

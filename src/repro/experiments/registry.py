@@ -15,6 +15,7 @@ from repro.experiments import (
     fig11_appliance,
     scalability,
     sensitivity,
+    service_level,
     table1_memory_modules,
     table2_platform,
     table3_tco,
@@ -36,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ablations": ablations.run,
     "disadvantages": disadvantages.run,
     "sensitivity": sensitivity.run,
+    "service": service_level.run,
 }
 
 

@@ -1,0 +1,77 @@
+"""Ambient observability context: the process-wide tracer/metrics pair.
+
+Components take an *injected* tracer/registry and default to ``None``;
+at call time they resolve ``None`` through :func:`get_tracer` /
+:func:`get_metrics`, which return whatever :func:`observe` installed for
+the current context — or the shared no-op singletons when observability
+is off.  This is how ``repro run --trace-out`` captures spans from every
+layer an experiment touches without threading a tracer through each
+harness signature, while still letting tests and libraries inject
+private instances.
+
+Built on :mod:`contextvars`, so concurrent contexts (threads spawned
+inside an ``observe`` block inherit the installing context only if they
+copy it — Python's default for ``Thread`` is a fresh context, which is
+why the tracer itself is also thread-safe and can simply be shared).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+AnyTracer = Union[Tracer, NullTracer]
+AnyRegistry = Union[MetricsRegistry, NullMetricsRegistry]
+
+_TRACER: ContextVar[Optional[Tracer]] = ContextVar(
+    "repro_obs_tracer", default=None)
+_METRICS: ContextVar[Optional[MetricsRegistry]] = ContextVar(
+    "repro_obs_metrics", default=None)
+
+
+def get_tracer(injected: Optional[AnyTracer] = None) -> AnyTracer:
+    """Resolve a component's tracer: injected > ambient > no-op."""
+    if injected is not None:
+        return injected
+    ambient = _TRACER.get()
+    return ambient if ambient is not None else NULL_TRACER
+
+
+def get_metrics(injected: Optional[AnyRegistry] = None) -> AnyRegistry:
+    """Resolve a component's registry: injected > ambient > no-op."""
+    if injected is not None:
+        return injected
+    ambient = _METRICS.get()
+    return ambient if ambient is not None else NULL_REGISTRY
+
+
+@contextlib.contextmanager
+def observe(tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None
+            ) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Install an ambient tracer/registry for the enclosed block.
+
+    Creates fresh instances when not given ones, and yields the pair so
+    the caller can export after the block::
+
+        with observe() as (tracer, metrics):
+            run_experiment("fig10")
+        write_chrome_trace(tracer, "trace.json")
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    tracer_token = _TRACER.set(tracer)
+    metrics_token = _METRICS.set(metrics)
+    try:
+        yield tracer, metrics
+    finally:
+        _TRACER.reset(tracer_token)
+        _METRICS.reset(metrics_token)

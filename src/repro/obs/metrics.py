@@ -1,0 +1,281 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments the simulation stack with the three classic metric kinds,
+keyed by ``(name, sorted label items)`` so one registry can hold, say,
+``cxl.arbiter.served_bytes{source=HOST}`` and ``{source=PNM}`` side by
+side.  Histograms are fixed-bucket (Prometheus-style): they record
+count/sum/min/max plus per-bucket counts and estimate p50/p95/p99 by
+linear interpolation inside the containing bucket, so their memory is
+O(buckets) regardless of sample count.
+
+Like the tracer, the registry has a shared no-op twin
+(:data:`NULL_REGISTRY`) whose factory methods hand back reusable inert
+instruments, keeping the disabled path allocation-free.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_key(name: str, labels: Dict[str, Any]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_metric_key(key: LabelKey) -> str:
+    """``name{k=v,...}`` rendering used by the JSON/summary exporters."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def default_time_buckets() -> Tuple[float, ...]:
+    """Log-spaced seconds buckets from 1 ns to 100 s (4 per decade)."""
+    return tuple(10.0 ** (e / 4.0) for e in range(-36, 9))
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only increase")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value, with the min/max envelope seen over the run."""
+
+    __slots__ = ("value", "min", "max", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.updates += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.updates:
+            return {"value": 0.0, "min": 0.0, "max": 0.0, "updates": 0}
+        return {"value": self.value, "min": self.min, "max": self.max,
+                "updates": self.updates}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``buckets`` are ascending upper bounds; samples above the last bound
+    land in an overflow bucket whose percentile estimate clamps to the
+    observed maximum.
+    """
+
+    __slots__ = ("buckets", "counts", "overflow", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(buckets) if buckets is not None \
+            else default_time_buckets()
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                "histogram buckets must be non-empty and ascending")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # first bucket with upper bound >= value
+            mid = (lo + hi) // 2
+            if self.buckets[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0..100) from bucket counts.
+
+        Linear interpolation inside the containing bucket; exact to
+        within one bucket width against a same-sample numpy reference.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigurationError(f"percentile {p} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = p / 100.0 * self.count
+        seen = 0.0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= target:
+                # If the first non-empty bucket is hit, its lower edge is
+                # the observed minimum (the bucket's nominal lower bound
+                # may lie far below the data).
+                lower = self.buckets[i - 1] if i else self.min
+                frac = (target - seen) / c
+                value = lower + frac * (self.buckets[i] - lower)
+                return min(max(value, self.min), self.max)
+            seen += c
+        return self.max  # overflow bucket: clamp to observed maximum
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {"count": self.count, "sum": self.sum, "mean": self.mean,
+                "min": self.min, "max": self.max, "p50": self.p50,
+                "p95": self.p95, "p99": self.p99}
+
+
+class _NullInstrument:
+    """Inert counter/gauge/histogram handed out by the null registry."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Registry that discards everything; the default everywhere."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullMetricsRegistry()
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by name + labels."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[LabelKey, Counter] = {}
+        self._gauges: Dict[LabelKey, Gauge] = {}
+        self._histograms: Dict[LabelKey, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _label_key(name, labels)
+        with self._lock:
+            try:
+                return self._counters[key]
+            except KeyError:
+                inst = self._counters[key] = Counter()
+                return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _label_key(name, labels)
+        with self._lock:
+            try:
+                return self._gauges[key]
+            except KeyError:
+                inst = self._gauges[key] = Gauge()
+                return inst
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        """Get or create; ``buckets`` only applies on first creation."""
+        key = _label_key(name, labels)
+        with self._lock:
+            try:
+                return self._histograms[key]
+            except KeyError:
+                inst = self._histograms[key] = Histogram(buckets)
+                return inst
+
+    def _section(self, store: Dict[LabelKey, Any]
+                 ) -> Dict[str, Dict[str, Any]]:
+        return {format_metric_key(key): inst.as_dict()
+                for key, inst in sorted(store.items())}
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Flat JSON-ready dump of every instrument."""
+        with self._lock:
+            return {
+                "counters": self._section(self._counters),
+                "gauges": self._section(self._gauges),
+                "histograms": self._section(self._histograms),
+            }
+
+    def names(self) -> Iterable[str]:
+        with self._lock:
+            keys = (list(self._counters) + list(self._gauges)
+                    + list(self._histograms))
+        return sorted(format_metric_key(k) for k in keys)

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.accelerator import isa
 from repro.accelerator.device import CXLPNMDevice
 from repro.errors import SimulationError
+from repro.obs.context import get_metrics, get_tracer
 import repro.perf.calibration as cal
 
 
@@ -107,14 +108,30 @@ class SimulationResult:
         return self.mem_bytes / self.total_time_s if self.total_time_s \
             else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready flat view, for exporters and benchmarks."""
+        out: Dict[str, float] = {
+            "total_time_s": self.total_time_s,
+            "instructions": float(self.instructions),
+            "mem_bytes": self.mem_bytes,
+            "flops": self.flops,
+        }
+        for unit in isa.Unit:
+            busy = self.unit_busy_s.get(unit, 0.0)
+            out[f"busy_s.{unit.name}"] = busy
+            out[f"utilization.{unit.name}"] = self.utilization(unit)
+        return out
+
 
 class AcceleratorSimulator:
     """List scheduler over the accelerator's units and memory bandwidth."""
 
     def __init__(self, device: Optional[CXLPNMDevice] = None,
-                 dtype_bytes: int = 2):
+                 dtype_bytes: int = 2, tracer=None, metrics=None):
         self.device = device or CXLPNMDevice()
         self.dtype_bytes = dtype_bytes
+        self._tracer = tracer
+        self._metrics = metrics
         self._mpu = self.device.mpu_timing()
         self._vpu = self.device.vpu_timing()
         self._dma = self.device.dma_timing()
@@ -157,9 +174,18 @@ class AcceleratorSimulator:
             return busy, mem_time
         return 0.0, 0.0  # control instructions
 
-    def run(self, program: Sequence[isa.Instruction]) -> SimulationResult:
-        """Schedule a program; returns makespan and per-unit busy time."""
+    def run(self, program: Sequence[isa.Instruction],
+            trace_offset_s: float = 0.0) -> SimulationResult:
+        """Schedule a program; returns makespan and per-unit busy time.
+
+        ``trace_offset_s`` shifts the emitted observability spans on the
+        simulated timeline (callers running many programs back to back —
+        e.g. a generation session — lay stages out contiguously).  It
+        never affects the returned result.
+        """
         isa.validate_program(tuple(program))
+        tracer = get_tracer(self._tracer)
+        metrics = get_metrics(self._metrics)
         shapes = _ShapeTracker()
         unit_free: Dict[isa.Unit, float] = {u: 0.0 for u in isa.Unit}
         unit_busy: Dict[isa.Unit, float] = {u: 0.0 for u in isa.Unit}
@@ -170,38 +196,61 @@ class AcceleratorSimulator:
         total_mem = 0.0
         total_flops = 0.0
 
-        for instr in program:
-            if isinstance(instr, isa.Barrier):
-                unit_free = {u: makespan for u in isa.Unit}
-                mem_free = makespan
-                continue
-            shapes.update(instr)
-            busy, mem_time = self._duration(instr, shapes)
-            ready = unit_free[instr.unit]
-            for reg in instr.reads():
-                ready = max(ready, reg_ready.get(reg, 0.0))
-            for reg in instr.writes():
-                # WAW / WAR serialization.
-                ready = max(ready, reg_ready.get(reg, 0.0),
-                            reg_last_read.get(reg, 0.0))
-            if mem_time > 0:
-                ready = max(ready, mem_free)
-            end = ready + busy
-            unit_free[instr.unit] = end
-            unit_busy[instr.unit] += busy
-            if mem_time > 0:
-                mem_free = ready + mem_time
-                total_mem += instr.mem_elems() * self.dtype_bytes
-            for reg in instr.reads():
-                reg_last_read[reg] = max(reg_last_read.get(reg, 0.0), end)
-            for reg in instr.writes():
-                reg_ready[reg] = end
-            total_flops += instr.flops()
-            makespan = max(makespan, end)
+        with tracer.span("simulator.run", category="accelerator",
+                         instructions=len(program)):
+            for instr in program:
+                if isinstance(instr, isa.Barrier):
+                    unit_free = {u: makespan for u in isa.Unit}
+                    mem_free = makespan
+                    continue
+                shapes.update(instr)
+                busy, mem_time = self._duration(instr, shapes)
+                ready = unit_free[instr.unit]
+                for reg in instr.reads():
+                    ready = max(ready, reg_ready.get(reg, 0.0))
+                for reg in instr.writes():
+                    # WAW / WAR serialization.
+                    ready = max(ready, reg_ready.get(reg, 0.0),
+                                reg_last_read.get(reg, 0.0))
+                if mem_time > 0:
+                    ready = max(ready, mem_free)
+                end = ready + busy
+                unit_free[instr.unit] = end
+                unit_busy[instr.unit] += busy
+                if mem_time > 0:
+                    mem_free = ready + mem_time
+                    total_mem += instr.mem_elems() * self.dtype_bytes
+                for reg in instr.reads():
+                    reg_last_read[reg] = max(reg_last_read.get(reg, 0.0),
+                                             end)
+                for reg in instr.writes():
+                    reg_ready[reg] = end
+                total_flops += instr.flops()
+                makespan = max(makespan, end)
+                if tracer.enabled:
+                    tracer.sim_span(
+                        instr.opcode, start_s=trace_offset_s + ready,
+                        dur_s=busy, track=f"pnm.{instr.unit.name}",
+                        category="accelerator")
+                if metrics.enabled:
+                    metrics.counter("sim.instructions",
+                                    opcode=instr.opcode).inc()
 
-        return SimulationResult(
+        result = SimulationResult(
             total_time_s=makespan,
             instructions=len(program),
             unit_busy_s=unit_busy,
             mem_bytes=total_mem,
             flops=total_flops)
+        if metrics.enabled:
+            metrics.counter("sim.time_s").inc(makespan)
+            metrics.counter("sim.mem_bytes").inc(total_mem)
+            metrics.counter("sim.flops").inc(total_flops)
+            for unit in isa.Unit:
+                if unit_busy.get(unit, 0.0) > 0.0:
+                    metrics.counter("sim.unit_busy_s",
+                                    unit=unit.name).inc(unit_busy[unit])
+                    metrics.gauge("sim.unit_utilization",
+                                  unit=unit.name).set(
+                        result.utilization(unit))
+        return result

@@ -26,6 +26,7 @@ from repro.accelerator.control import ControlRegister, ControlUnit, Status
 from repro.accelerator.engine import ExecutionStats, Executor
 from repro.accelerator.memory import DeviceMemory
 from repro.errors import DriverError
+from repro.obs.context import get_metrics, get_tracer
 
 
 class CompletionMode(enum.Enum):
@@ -62,12 +63,15 @@ class CxlPnmDriver:
     """
 
     def __init__(self, memory: DeviceMemory,
-                 completion_mode: CompletionMode = CompletionMode.INTERRUPT):
+                 completion_mode: CompletionMode = CompletionMode.INTERRUPT,
+                 tracer=None, metrics=None):
         self.memory = memory
         self.control = ControlUnit()
         self.interrupts = InterruptController()
         self.completion_mode = completion_mode
-        self._executor = Executor(memory)
+        self._tracer = tracer
+        self._metrics = metrics
+        self._executor = Executor(memory, tracer=tracer, metrics=metrics)
         self._launches = 0
         self._poll_count = 0
         self.control.write_register(
@@ -99,16 +103,24 @@ class CxlPnmDriver:
         if self.control.status is Status.RUNNING:
             raise DriverError("accelerator already running")
         code = self.control.instruction_buffer
+        tracer = get_tracer(self._tracer)
+        metrics = get_metrics(self._metrics)
         self.control.set_status(Status.RUNNING)
-        try:
-            stats = self._executor.execute(code)
-        except Exception:
-            self.control.set_status(Status.ERROR)
-            raise
+        with tracer.span("driver.launch", category="runtime",
+                         instructions=len(code),
+                         mode=self.completion_mode.value):
+            try:
+                stats = self._executor.execute(code)
+            except Exception:
+                self.control.set_status(Status.ERROR)
+                metrics.counter("driver.errors").inc()
+                raise
         self.control.set_status(Status.DONE)
         self._launches += 1
+        metrics.counter("driver.launches").inc()
         if self.completion_mode is CompletionMode.INTERRUPT:
             self.interrupts.assert_interrupt()
+            metrics.counter("driver.interrupts").inc()
         return stats
 
     def poll(self) -> bool:
@@ -116,6 +128,7 @@ class CxlPnmDriver:
         if self.completion_mode is not CompletionMode.POLLING:
             raise DriverError("device is configured for interrupts")
         self._poll_count += 1
+        get_metrics(self._metrics).counter("driver.polls").inc()
         return self.control.status is Status.DONE
 
     def wait(self, max_polls: int = 1_000_000) -> None:

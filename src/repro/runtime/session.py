@@ -19,6 +19,7 @@ from repro.accelerator.device import CXLPNMDevice
 from repro.accelerator.memory import DeviceMemory
 from repro.errors import CapacityError, ConfigurationError
 from repro.llm.reference import ModelWeights
+from repro.obs.context import get_metrics, get_tracer
 from repro.perf.simulator import AcceleratorSimulator
 from repro.runtime.driver import CompletionMode, CxlPnmDriver
 from repro.units import MiB
@@ -26,23 +27,40 @@ from repro.units import MiB
 
 @dataclass
 class GenerationTrace:
-    """What one ``generate`` call did and how long the device would take."""
+    """What one ``generate`` call did and how long the device would take.
+
+    Timing convention: ``stage_times_s`` holds one entry per executed
+    stage (the sum stage first, then each gen stage) **only when the
+    session simulates timing**.  A session constructed with
+    ``simulate_timing=False`` leaves it empty, and every derived time
+    (``sum_time_s``, ``gen_time_s``, ``total_time_s``) reports ``0.0``
+    rather than raising — check :attr:`has_timing` to distinguish "took
+    no time" from "timing was disabled".
+    """
 
     tokens: List[int] = field(default_factory=list)
     stage_times_s: List[float] = field(default_factory=list)
     instructions: int = 0
 
     @property
+    def has_timing(self) -> bool:
+        """True when the session recorded simulated stage times."""
+        return bool(self.stage_times_s)
+
+    @property
     def sum_time_s(self) -> float:
+        """Simulated sum-stage time; 0.0 when timing was disabled."""
         return self.stage_times_s[0] if self.stage_times_s else 0.0
 
     @property
     def gen_time_s(self) -> float:
-        return sum(self.stage_times_s[1:])
+        """Simulated total gen-stage time; 0.0 when timing was disabled."""
+        return sum(self.stage_times_s[1:]) if self.stage_times_s else 0.0
 
     @property
     def total_time_s(self) -> float:
-        return sum(self.stage_times_s)
+        """Simulated end-to-end time; 0.0 when timing was disabled."""
+        return sum(self.stage_times_s) if self.stage_times_s else 0.0
 
 
 class InferenceSession:
@@ -52,7 +70,8 @@ class InferenceSession:
                  memory_bytes: Optional[int] = None,
                  completion_mode: CompletionMode = CompletionMode.INTERRUPT,
                  simulate_timing: bool = True,
-                 device: Optional[CXLPNMDevice] = None):
+                 device: Optional[CXLPNMDevice] = None,
+                 tracer=None, metrics=None):
         config = weights.config
         if memory_bytes is None:
             # Parameters + caches + buffers, with fp32 functional storage
@@ -64,12 +83,18 @@ class InferenceSession:
             memory_bytes = int(need * 1.25) + 4 * MiB
         self.config = config
         self.memory = DeviceMemory(memory_bytes)
+        self._tracer = tracer
+        self._metrics = metrics
         self.driver = CxlPnmDriver(self.memory,
-                                   completion_mode=completion_mode)
+                                   completion_mode=completion_mode,
+                                   tracer=tracer, metrics=metrics)
         self.layout: ModelLayout = load_model(self.memory, weights)
         self.compiler = StageCompiler(self.layout)
-        self.simulator = AcceleratorSimulator(device or CXLPNMDevice()) \
+        self._device = device or CXLPNMDevice()
+        self.simulator = AcceleratorSimulator(
+            self._device, tracer=tracer, metrics=metrics) \
             if simulate_timing else None
+        self._sim_clock_s = 0.0
         self._context_len = 0
         self._interrupts_seen = 0
         self.driver.interrupts.register_isr(self._on_interrupt)
@@ -94,20 +119,59 @@ class InferenceSession:
         """Forget the conversation (KV cache is overwritten next time)."""
         self._context_len = 0
 
-    def _run_stage(self, code, trace: GenerationTrace) -> int:
-        self.driver.program(code)
-        if self.driver.completion_mode is CompletionMode.POLLING:
-            self.driver.launch()
-            self.driver.wait()
-        else:
-            self.driver.launch()
-        self.driver.acknowledge()
-        trace.instructions += len(code)
-        if self.simulator is not None:
-            trace.stage_times_s.append(self.simulator.run(code).total_time_s)
-        token = int(self.memory.read_tensor(
-            self.layout.output_region.addr, (1,))[0])
+    def _run_stage(self, code, trace: GenerationTrace,
+                   stage: str = "stage") -> int:
+        tracer = get_tracer(self._tracer)
+        metrics = get_metrics(self._metrics)
+        with tracer.span(f"session.{stage}", category="runtime",
+                         instructions=len(code)) as span:
+            self.driver.program(code)
+            if self.driver.completion_mode is CompletionMode.POLLING:
+                self.driver.launch()
+                self.driver.wait()
+            else:
+                self.driver.launch()
+            self.driver.acknowledge()
+            trace.instructions += len(code)
+            if self.simulator is not None:
+                stage_time = self.simulator.run(
+                    code, trace_offset_s=self._sim_clock_s).total_time_s
+                trace.stage_times_s.append(stage_time)
+                if tracer.enabled:
+                    tracer.sim_span(
+                        f"session.{stage}", start_s=self._sim_clock_s,
+                        dur_s=stage_time, track="session",
+                        category="runtime",
+                        args={"instructions": len(code)})
+                    span.set(device_time_us=stage_time * 1e6)
+                self._sim_clock_s += stage_time
+                self._trace_host_readback(tracer, metrics)
+            token = int(self.memory.read_tensor(
+                self.layout.output_region.addr, (1,))[0])
+        if metrics.enabled:
+            metrics.counter("session.stages", stage=stage).inc()
+            metrics.counter("session.tokens").inc()
         return token
+
+    def _trace_host_readback(self, tracer, metrics) -> None:
+        """Account the host's CXL.mem read of the output token.
+
+        Observability only: the modelled link time is laid onto the
+        trace timeline (between stages) and counted in the registry, but
+        never added to the stage times a trace reports.
+        """
+        if not (tracer.enabled or metrics.enabled):
+            return
+        nbytes = 4  # one fp32 token slot in the output buffer
+        link_s = self._device.link.transfer_time(nbytes)
+        if metrics.enabled:
+            metrics.counter("session.host_readback_bytes").inc(nbytes)
+        if tracer.enabled:
+            tracer.sim_span("host_token_read", start_s=self._sim_clock_s,
+                            dur_s=link_s, track="cxl.link",
+                            category="cxl",
+                            args={"bytes": nbytes})
+        self._sim_clock_s += link_s
 
     def generate(self, prompt: Sequence[int], num_tokens: int
                  ) -> GenerationTrace:
@@ -142,14 +206,14 @@ class InferenceSession:
         trace = GenerationTrace()
         code = self.compiler.compile_stage(list(prompt),
                                            ctx_prev=self._context_len)
-        token = self._run_stage(code, trace)
+        token = self._run_stage(code, trace, stage="sum_stage")
         trace.tokens.append(token)
         self._context_len += len(prompt)
         for _ in range(num_tokens - 1):
             self._context_len += 1
             code = self.compiler.compile_gen_stage(
                 trace.tokens[-1], context_len=self._context_len)
-            token = self._run_stage(code, trace)
+            token = self._run_stage(code, trace, stage="gen_stage")
             trace.tokens.append(token)
         # context_len counts KV-cache rows: every processed token.  The
         # final generated token was never fed back, so it is not cached;

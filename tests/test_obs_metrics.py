@@ -1,0 +1,162 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    NULL_INSTRUMENT,
+    default_time_buckets,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes").inc(10)
+        registry.counter("bytes").inc(5)
+        assert registry.counter("bytes").value == 15
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("served", source="HOST").inc(1)
+        registry.counter("served", source="PNM").inc(2)
+        assert registry.counter("served", source="HOST").value == 1
+        assert registry.counter("served", source="PNM").value == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a=1, b=2).inc()
+        assert registry.counter("c", b=2, a=1).value == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_envelope(self):
+        gauge = MetricsRegistry().gauge("depth")
+        for value in (3, 1, 7, 2):
+            gauge.set(value)
+        assert gauge.value == 2
+        assert gauge.min == 1
+        assert gauge.max == 7
+        assert gauge.updates == 4
+
+    def test_unset_dict_is_zeros(self):
+        assert MetricsRegistry().gauge("g").as_dict() == {
+            "value": 0.0, "min": 0.0, "max": 0.0, "updates": 0}
+
+
+class TestHistogram:
+    def test_count_sum_min_max_exact(self):
+        hist = Histogram(buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 14.0
+        assert hist.min == 0.5
+        assert hist.max == 9.0
+        assert hist.overflow == 1
+        assert hist.mean == 3.5
+
+    def test_percentiles_against_numpy_reference(self):
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0.0, 0.1, size=5000)
+        width = 0.001
+        hist = Histogram(buckets=np.arange(width, 0.12, width))
+        for value in samples:
+            hist.observe(value)
+        for p in (50, 95, 99):
+            reference = np.percentile(samples, p)
+            estimate = hist.percentile(p)
+            # Linear interpolation inside a fixed bucket is exact to
+            # within one bucket width of the sample percentile.
+            assert abs(estimate - reference) <= 2 * width, p
+
+    def test_percentiles_with_default_log_buckets(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(1e-3, size=4000)
+        hist = Histogram()  # default log-spaced time buckets
+        for value in samples:
+            hist.observe(value)
+        buckets = default_time_buckets()
+        ratio = buckets[1] / buckets[0]
+        for p in (50, 95, 99):
+            reference = np.percentile(samples, p)
+            estimate = hist.percentile(p)
+            assert reference / ratio <= estimate <= reference * ratio, p
+
+    def test_percentile_clamps_to_observed_range(self):
+        hist = Histogram(buckets=[10.0])
+        hist.observe(2.0)
+        hist.observe(3.0)
+        assert 2.0 <= hist.percentile(50) <= 3.0
+        assert hist.percentile(0) >= 2.0
+        assert hist.percentile(100) <= 3.0
+
+    def test_overflow_percentile_is_observed_max(self):
+        hist = Histogram(buckets=[1.0])
+        for value in (5.0, 6.0, 7.0):
+            hist.observe(value)
+        assert hist.percentile(99) == 7.0
+
+    def test_empty_histogram(self):
+        hist = Histogram(buckets=[1.0])
+        assert hist.percentile(50) == 0.0
+        assert hist.as_dict()["count"] == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=[])
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=[2.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=[1.0]).percentile(101)
+
+
+class TestRegistry:
+    def test_as_dict_layout(self):
+        registry = MetricsRegistry()
+        registry.counter("c", source="HOST").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        dump = registry.as_dict()
+        assert dump["counters"]["c{source=HOST}"] == {"value": 3.0}
+        assert dump["gauges"]["g"]["value"] == 1.5
+        assert dump["histograms"]["h"]["count"] == 1
+        assert dump["histograms"]["h"]["p50"] == pytest.approx(
+            0.25, rel=1.0)
+
+    def test_histogram_buckets_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=[1.0, 2.0])
+        again = registry.histogram("h", buckets=[9.0])
+        assert again is first
+        assert first.buckets == (1.0, 2.0)
+
+    def test_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(0)
+        assert registry.names() == ["a", "b"]
+
+
+class TestNullRegistry:
+    def test_shared_inert_instruments(self):
+        assert NULL_REGISTRY.counter("x") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.gauge("x") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.histogram("x") is NULL_INSTRUMENT
+        NULL_INSTRUMENT.inc(5)
+        NULL_INSTRUMENT.set(5)
+        NULL_INSTRUMENT.observe(5)
+        assert NULL_REGISTRY.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        assert not NULL_REGISTRY.enabled
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

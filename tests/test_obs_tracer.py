@@ -1,0 +1,152 @@
+"""Span tracer: nesting, two clocks, thread safety, no-op path."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SIM_CLOCK,
+    Tracer,
+    WALL_CLOCK,
+    get_metrics,
+    get_tracer,
+    observe,
+)
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="runtime"):
+            with tracer.span("inner", category="runtime"):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["outer"].depth == 0
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].depth == 1
+        assert spans["inner"].parent_id == spans["outer"].span_id
+
+    def test_inner_closes_first_and_nests_in_time(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert outer.start_ns <= inner.start_ns
+        assert (inner.start_ns + inner.dur_ns
+                <= outer.start_ns + outer.dur_ns)
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["a"].parent_id == spans["outer"].span_id
+        assert spans["b"].parent_id == spans["outer"].span_id
+        assert spans["a"].depth == spans["b"].depth == 1
+
+    def test_args_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", category="runtime", static=1) as span:
+            span.set(dynamic=2)
+        (record,) = tracer.spans
+        assert record.args == {"static": 1, "dynamic": 2}
+
+
+class TestSimSpans:
+    def test_explicit_position_in_nanoseconds(self):
+        tracer = Tracer()
+        tracer.sim_span("op", start_s=2e-6, dur_s=1.5e-6, track="pnm.VPU",
+                        category="accelerator")
+        (span,) = tracer.spans
+        assert span.clock == SIM_CLOCK
+        assert span.start_ns == 2000
+        assert span.dur_ns == 1500
+        assert span.track == "pnm.VPU"
+
+    def test_wall_and_sim_coexist(self):
+        tracer = Tracer()
+        with tracer.span("wall-side"):
+            tracer.sim_span("sim-side", 0.0, 1e-9, track="t")
+        clocks = sorted(s.clock for s in tracer.spans)
+        assert clocks == [SIM_CLOCK, WALL_CLOCK]
+
+    def test_categories(self):
+        tracer = Tracer()
+        tracer.sim_span("a", 0, 1e-9, track="t", category="cxl")
+        tracer.sim_span("b", 0, 1e-9, track="t", category="accelerator")
+        assert tracer.categories() == ("accelerator", "cxl")
+
+
+class TestThreadSafety:
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+
+        def work(tag):
+            with tracer.span(f"outer-{tag}"):
+                with tracer.span(f"inner-{tag}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in tracer.spans}
+        assert len(spans) == 16
+        for i in range(8):
+            assert spans[f"inner-{i}"].parent_id \
+                == spans[f"outer-{i}"].span_id
+            assert spans[f"outer-{i}"].depth == 0
+
+
+class TestNullPath:
+    def test_null_tracer_is_shared_and_inert(self):
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y") is NULL_SPAN
+        with NULL_TRACER.span("x") as span:
+            span.set(ignored=True)
+        NULL_TRACER.sim_span("x", 0.0, 1.0, track="t")
+        assert NULL_TRACER.spans == ()
+        assert not NULL_TRACER.enabled
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.sim_span("x", 0, 1e-9, track="t")
+        tracer.clear()
+        assert tracer.spans == ()
+
+
+class TestAmbientResolution:
+    def test_defaults_to_null_singletons(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_REGISTRY
+
+    def test_observe_installs_and_restores(self):
+        with observe() as (tracer, metrics):
+            assert get_tracer() is tracer
+            assert get_metrics() is metrics
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_REGISTRY
+
+    def test_injection_wins_over_ambient(self):
+        private = Tracer()
+        with observe():
+            assert get_tracer(private) is private
+
+    def test_observe_nests(self):
+        with observe() as (outer, _):
+            with observe() as (inner, _m):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
