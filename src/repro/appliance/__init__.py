@@ -5,8 +5,13 @@ from repro.appliance.cluster import (
     PnmAppliance,
     devices_required,
 )
+from repro.appliance.continuous import (
+    ContinuousBatchScheduler,
+    ContinuousBatchStats,
+)
 from repro.appliance.pipeline import PipelinePlan
 from repro.appliance.scheduler import (
+    RejectedRequest,
     RequestScheduler,
     ServiceStats,
     poisson_arrivals,
@@ -20,7 +25,10 @@ from repro.appliance.parallelism import (
 )
 
 __all__ = [
+    "ContinuousBatchScheduler",
+    "ContinuousBatchStats",
     "PipelinePlan",
+    "RejectedRequest",
     "RequestScheduler",
     "ServiceStats",
     "poisson_arrivals",

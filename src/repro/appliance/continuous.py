@@ -1,0 +1,355 @@
+"""Continuous (iteration-level) batching over one model instance.
+
+The FCFS scheduler in :mod:`repro.appliance.scheduler` gives each
+request an exclusive instance for its whole lifetime, so every gen
+token re-streams all parameters for a single row of activations — the
+bandwidth-bound GEMV regime of paper §VII.  Serving systems instead
+re-form the batch *every iteration*: requests join the running batch as
+soon as their KV cache fits (admission control), each decode step
+processes one token from every running request against once-streamed
+weights (small-batch GEMM, the lever of the paper's ref [10]), and
+requests leave the moment their last token is produced.
+
+:class:`ContinuousBatchScheduler` is a discrete-event simulation of
+that regime at decode-step granularity:
+
+* **Admission** — FCFS from the waiting queue; a request is admitted
+  when the batch has a slot (``max_batch``) and its *peak* KV footprint
+  fits in the reserved-KV budget (``kv_spare_bytes``; reserving peak
+  up-front guarantees no mid-flight eviction).  Requests that can never
+  be served — position budget or device memory exceeded — are rejected
+  with a reason instead of being served with a fabricated latency.
+* **Iteration** — newly admitted requests run their prefill (sum
+  stage, emitting their first token); everyone else advances one
+  decode step, costed by the step model at the batch's mean context.
+* **Completion** — a request reaching ``output_len`` leaves and frees
+  its KV reservation at the iteration boundary.
+
+Per-request time-to-first-token and time-between-tokens come out of the
+same timeline, alongside the familiar :class:`ServiceStats` aggregates.
+Observability (per-iteration sim spans, a batch-occupancy gauge,
+admission/rejection counters) only records — results are bit-identical
+with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.appliance.scheduler import (
+    CompletedRequest,
+    RejectedRequest,
+    ServiceStats,
+    infeasible_reason,
+)
+from repro.errors import ConfigurationError
+from repro.llm.config import LLMConfig
+from repro.llm.kvcache import kv_spare_bytes, peak_kv_bytes
+from repro.llm.workload import InferenceRequest
+from repro.obs.context import get_metrics, get_tracer
+
+#: Iteration sim-spans traced per run; long runs have tens of thousands
+#: of near-identical steps, so the trace keeps the first ones and notes
+#: the truncation in the span args.
+MAX_TRACED_ITERATIONS = 4096
+
+
+class BatchStepModel(Protocol):
+    """What the engine needs from a cost model: per-iteration seconds."""
+
+    def prefill_s(self, input_len: int) -> float:
+        """One request's sum stage (produces its first token)."""
+        ...
+
+    def decode_step_s(self, batch: int, context_len: int) -> float:
+        """One batched gen step at the given mean attention span."""
+        ...
+
+
+@dataclass(eq=False)
+class _Running:
+    """In-flight request state inside the batch (identity semantics)."""
+
+    request: InferenceRequest
+    arrival_s: float
+    admitted_s: float
+    kv_reserved: int
+    slot: int
+    generated: int = 0
+    first_token_s: Optional[float] = None
+
+    @property
+    def context_len(self) -> int:
+        """Attention span of this request's next decode step."""
+        return self.request.input_len + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_len
+
+
+@dataclass
+class ContinuousBatchStats(ServiceStats):
+    """Service statistics plus the batching-specific aggregates.
+
+    ``num_instances`` is always 1 — the whole point is that one
+    instance serves many requests concurrently.
+    """
+
+    num_iterations: int = 0
+    max_occupancy: int = 0
+    busy_s: float = 0.0
+    occupancy_time_s: float = 0.0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-weighted mean batch size while the engine was busy."""
+        return self.occupancy_time_s / self.busy_s if self.busy_s else 0.0
+
+    @property
+    def instance_utilization(self) -> float:
+        """Fraction of the makespan with a non-empty batch.
+
+        Overrides the FCFS definition (per-request busy time summed over
+        instances), which would double-count overlapping residents.
+        """
+        return self.busy_s / self.makespan_s if self.makespan_s else 0.0
+
+    def _ttfts(self) -> np.ndarray:
+        return np.array([c.ttft_s for c in self.completed
+                         if c.ttft_s is not None])
+
+    @property
+    def mean_ttft_s(self) -> float:
+        ttfts = self._ttfts()
+        return float(ttfts.mean()) if len(ttfts) else 0.0
+
+    @property
+    def p95_ttft_s(self) -> float:
+        ttfts = self._ttfts()
+        return float(np.percentile(ttfts, 95)) if len(ttfts) else 0.0
+
+    @property
+    def mean_tbt_s(self) -> float:
+        tbts = [c.mean_tbt_s for c in self.completed
+                if c.mean_tbt_s is not None]
+        return float(np.mean(tbts)) if tbts else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = super().as_dict()
+        out.update({
+            "num_iterations": float(self.num_iterations),
+            "max_occupancy": float(self.max_occupancy),
+            "mean_occupancy": self.mean_occupancy,
+            "mean_ttft_s": self.mean_ttft_s,
+            "p95_ttft_s": self.p95_ttft_s,
+            "mean_tbt_s": self.mean_tbt_s,
+        })
+        return out
+
+
+@dataclass
+class ContinuousBatchScheduler:
+    """Iteration-level scheduler forming the batch anew every decode step.
+
+    Attributes:
+        step: Per-iteration cost model (prefill and batched decode);
+            :class:`repro.perf.analytical.BatchStepTimer` for the
+            analytical devices, or any object with the same two methods.
+        config: The model being served (drives KV/position budgets).
+        memory_bytes: Device memory; parameters are resident, the rest
+            is the KV admission budget.
+        max_batch: Optional hard cap on concurrent requests (defaults
+            to whatever the KV budget allows).
+        tracer: Optional span tracer; defaults to the ambient/no-op one.
+        metrics: Optional metrics registry, resolved the same way.
+    """
+
+    step: BatchStepModel
+    config: LLMConfig
+    memory_bytes: int
+    max_batch: Optional[int] = None
+    tracer: Optional[object] = None
+    metrics: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if kv_spare_bytes(self.config, self.memory_bytes) <= 0:
+            raise ConfigurationError(
+                f"{self.config.name} parameters leave no KV room in "
+                f"{self.memory_bytes} bytes")
+
+    def run(self, requests: Sequence[InferenceRequest],
+            arrival_times: Optional[Sequence[float]] = None
+            ) -> ContinuousBatchStats:
+        """Serve ``requests`` with continuous batching; returns stats.
+
+        ``arrival_times`` defaults to all-at-once; pass
+        :func:`~repro.appliance.scheduler.poisson_arrivals` for
+        open-loop load.  FCFS is preserved: admission considers only the
+        head of the waiting queue (head-of-line blocking included).
+        """
+        if not requests:
+            raise ConfigurationError("no requests to schedule")
+        if arrival_times is None:
+            arrival_times = [0.0] * len(requests)
+        if len(arrival_times) != len(requests):
+            raise ConfigurationError(
+                "arrival_times must match requests in length")
+        tracer = get_tracer(self.tracer)
+        metrics = get_metrics(self.metrics)
+        kv_budget = kv_spare_bytes(self.config, self.memory_bytes)
+        waiting = sorted(zip(requests, arrival_times), key=lambda p: p[1])
+        head = 0
+        running: List[_Running] = []
+        free_slots: List[int] = []
+        next_slot = 0
+        kv_reserved = 0
+        completed: List[CompletedRequest] = []
+        rejected: List[RejectedRequest] = []
+        now = 0.0
+        iterations = 0
+        max_occupancy = 0
+        busy_s = 0.0
+        occupancy_time_s = 0.0
+
+        with tracer.span("scheduler.continuous", category="scheduler",
+                         requests=len(requests),
+                         memory_gb=self.memory_bytes / 1e9):
+            while head < len(waiting) or running:
+                if not running and head < len(waiting) \
+                        and waiting[head][1] > now:
+                    now = waiting[head][1]  # idle: jump to next arrival
+
+                # -- admission: FCFS from the queue head ----------------
+                admitted: List[_Running] = []
+                while head < len(waiting) and waiting[head][1] <= now:
+                    request, arrival = waiting[head]
+                    reason = infeasible_reason(self.config,
+                                               self.memory_bytes, request)
+                    if reason is not None:
+                        rejected.append(RejectedRequest(
+                            request=request, arrival_s=arrival,
+                            reason=reason))
+                        head += 1
+                        if metrics.enabled:
+                            metrics.counter("scheduler.rejected").inc()
+                        continue
+                    peak = peak_kv_bytes(self.config, request.input_len,
+                                         request.output_len)
+                    if kv_reserved + peak > kv_budget:
+                        break  # no KV room: head-of-line waits
+                    if self.max_batch is not None \
+                            and len(running) >= self.max_batch:
+                        break
+                    if free_slots:
+                        slot = heapq.heappop(free_slots)
+                    else:
+                        slot = next_slot
+                        next_slot += 1
+                    entry = _Running(request=request, arrival_s=arrival,
+                                     admitted_s=now, kv_reserved=peak,
+                                     slot=slot)
+                    kv_reserved += peak
+                    running.append(entry)
+                    admitted.append(entry)
+                    head += 1
+                    if metrics.enabled:
+                        metrics.counter("scheduler.admitted").inc()
+
+                if not running:
+                    continue  # everything due by `now` was rejected
+
+                # -- one iteration: prefills, then one decode step ------
+                start = now
+                cursor = now
+                for entry in admitted:
+                    cursor += self.step.prefill_s(entry.request.input_len)
+                    entry.generated = 1
+                    entry.first_token_s = cursor
+                decoders = [r for r in running
+                            if r not in admitted and not r.done]
+                decode_s = 0.0
+                if decoders:
+                    mean_ctx = int(math.ceil(
+                        sum(r.context_len for r in decoders)
+                        / len(decoders)))
+                    decode_s = self.step.decode_step_s(len(decoders),
+                                                       mean_ctx)
+                now = cursor + decode_s
+                for entry in decoders:
+                    entry.generated += 1
+                iterations += 1
+                occupancy = len(running)
+                max_occupancy = max(max_occupancy, occupancy)
+                busy_s += now - start
+                occupancy_time_s += (now - start) * occupancy
+
+                # -- completions ----------------------------------------
+                still: List[_Running] = []
+                for entry in running:
+                    if not entry.done:
+                        still.append(entry)
+                        continue
+                    kv_reserved -= entry.kv_reserved
+                    heapq.heappush(free_slots, entry.slot)
+                    completed.append(CompletedRequest(
+                        request=entry.request,
+                        arrival_s=entry.arrival_s,
+                        start_s=entry.admitted_s,
+                        finish_s=now,
+                        first_token_s=entry.first_token_s))
+                    if tracer.enabled:
+                        tracer.sim_span(
+                            "request", start_s=entry.admitted_s,
+                            dur_s=now - entry.admitted_s,
+                            track=f"scheduler.slot{entry.slot}",
+                            category="scheduler",
+                            args={"request_id": entry.request.request_id,
+                                  "queue_wait_s":
+                                      entry.admitted_s - entry.arrival_s,
+                                  "ttft_s": entry.first_token_s
+                                  - entry.arrival_s,
+                                  "output_tokens":
+                                      entry.request.output_len})
+                running = still
+
+                # -- observability (records only; never feeds back) -----
+                if tracer.enabled and iterations <= MAX_TRACED_ITERATIONS:
+                    tracer.sim_span(
+                        "batch_step", start_s=start, dur_s=now - start,
+                        track="scheduler.batch", category="scheduler",
+                        args={"iteration": iterations,
+                              "prefills": len(admitted),
+                              "decodes": len(decoders),
+                              "occupancy": occupancy,
+                              "kv_reserved_gb": kv_reserved / 1e9})
+                if metrics.enabled:
+                    metrics.gauge("scheduler.batch_occupancy").set(
+                        occupancy)
+                    metrics.counter("scheduler.decode_steps").inc(
+                        len(decoders))
+                    metrics.counter("scheduler.prefills").inc(
+                        len(admitted))
+
+        if metrics.enabled:
+            for c in completed:
+                if c.ttft_s is not None:
+                    metrics.histogram("scheduler.ttft_s").observe(c.ttft_s)
+                if c.mean_tbt_s is not None:
+                    metrics.histogram("scheduler.tbt_s").observe(
+                        c.mean_tbt_s)
+                metrics.histogram("scheduler.latency_s").observe(
+                    c.total_latency_s)
+        makespan = max(c.finish_s for c in completed) if completed else 0.0
+        return ContinuousBatchStats(
+            completed=completed, makespan_s=makespan, num_instances=1,
+            rejected=rejected, num_iterations=iterations,
+            max_occupancy=max_occupancy, busy_s=busy_s,
+            occupancy_time_s=occupancy_time_s)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.llm.config import LLMConfig
+from repro.llm.kvcache import request_fits
 from repro.llm.workload import InferenceRequest
 from repro.obs.context import get_metrics, get_tracer
 from repro.perf.analytical import DevicePerfModel, InferenceTimer
@@ -39,12 +40,18 @@ def timer_service(config: LLMConfig, model: DevicePerfModel,
 
 @dataclass
 class CompletedRequest:
-    """One served request with its timeline."""
+    """One served request with its timeline.
+
+    ``first_token_s`` is recorded by schedulers that track tokens at
+    iteration granularity (the continuous-batching engine); the
+    request-exclusive FCFS path leaves it ``None``.
+    """
 
     request: InferenceRequest
     arrival_s: float
     start_s: float
     finish_s: float
+    first_token_s: Optional[float] = None
 
     @property
     def queue_wait_s(self) -> float:
@@ -54,32 +61,70 @@ class CompletedRequest:
     def total_latency_s(self) -> float:
         return self.finish_s - self.arrival_s
 
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token, when the scheduler tracked it."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def mean_tbt_s(self) -> Optional[float]:
+        """Mean time between tokens after the first, when tracked."""
+        if self.first_token_s is None or self.request.output_len < 2:
+            return None
+        return (self.finish_s - self.first_token_s) \
+            / (self.request.output_len - 1)
+
+
+@dataclass(frozen=True)
+class RejectedRequest:
+    """One request turned away at admission, with the reason."""
+
+    request: InferenceRequest
+    arrival_s: float
+    reason: str
+
 
 @dataclass
 class ServiceStats:
-    """Aggregate statistics of one scheduler run."""
+    """Aggregate statistics of one scheduler run.
+
+    All latency aggregates report 0.0 when nothing completed — an
+    admission-controlled run that rejects everything is still a valid,
+    reportable outcome (the ``rejected`` list says why).
+    """
 
     completed: List[CompletedRequest]
     makespan_s: float
     num_instances: int
+    rejected: List[RejectedRequest] = field(default_factory=list)
 
     def _latencies(self) -> np.ndarray:
         return np.array([c.total_latency_s for c in self.completed])
 
     @property
     def mean_latency_s(self) -> float:
+        if not self.completed:
+            return 0.0
         return float(self._latencies().mean())
 
     @property
     def p50_latency_s(self) -> float:
+        if not self.completed:
+            return 0.0
         return float(np.percentile(self._latencies(), 50))
 
     @property
     def p95_latency_s(self) -> float:
+        if not self.completed:
+            return 0.0
         return float(np.percentile(self._latencies(), 95))
 
     @property
     def mean_queue_wait_s(self) -> float:
+        if not self.completed:
+            return 0.0
         return float(np.mean([c.queue_wait_s for c in self.completed]))
 
     @property
@@ -97,6 +142,7 @@ class ServiceStats:
         """JSON-ready flat view, for exporters and benchmarks."""
         return {
             "requests": float(len(self.completed)),
+            "rejected": float(len(self.rejected)),
             "num_instances": float(self.num_instances),
             "makespan_s": self.makespan_s,
             "mean_latency_s": self.mean_latency_s,
@@ -108,6 +154,27 @@ class ServiceStats:
         }
 
 
+def infeasible_reason(config: Optional[LLMConfig],
+                      memory_bytes: Optional[int],
+                      request: InferenceRequest) -> Optional[str]:
+    """Why a request can *never* be served on the device, or ``None``.
+
+    Checks the two hard limits: the model's position budget and the
+    device memory (parameters plus the request's peak KV footprint).
+    Used by both the FCFS and continuous-batching schedulers so the two
+    serving paths reject identically.
+    """
+    if config is None:
+        return None
+    if request.total_tokens > config.max_seq_len:
+        return (f"input+output={request.total_tokens} tokens exceed "
+                f"max_seq_len={config.max_seq_len}")
+    if memory_bytes is not None and not request_fits(
+            config, memory_bytes, request.input_len, request.output_len):
+        return "params + peak KV exceed device memory"
+    return None
+
+
 @dataclass
 class RequestScheduler:
     """FCFS scheduler dispatching requests onto N model instances.
@@ -115,12 +182,20 @@ class RequestScheduler:
     Attributes:
         service: Per-request latency model (one instance, exclusive).
         num_instances: Concurrent model instances (the appliance's DP).
+        config: Optional model config; when given, requests that exceed
+            ``max_seq_len`` (or, with ``memory_bytes``, whose KV can
+            never fit) are rejected instead of served with a fabricated
+            latency.
+        memory_bytes: Optional per-instance device memory for the KV
+            feasibility check.
         tracer: Optional span tracer; defaults to the ambient/no-op one.
         metrics: Optional metrics registry, resolved the same way.
     """
 
     service: ServiceModel
     num_instances: int
+    config: Optional[LLMConfig] = None
+    memory_bytes: Optional[int] = None
     tracer: Optional[object] = None
     metrics: Optional[object] = None
 
@@ -148,11 +223,20 @@ class RequestScheduler:
         free_at = [(0.0, i) for i in range(self.num_instances)]
         heapq.heapify(free_at)
         completed: List[CompletedRequest] = []
+        rejected: List[RejectedRequest] = []
         with tracer.span("scheduler.run", category="scheduler",
                          requests=len(requests),
                          instances=self.num_instances):
             for request, arrival in sorted(zip(requests, arrival_times),
                                            key=lambda p: p[1]):
+                reason = infeasible_reason(self.config, self.memory_bytes,
+                                           request)
+                if reason is not None:
+                    rejected.append(RejectedRequest(
+                        request=request, arrival_s=arrival, reason=reason))
+                    if metrics.enabled:
+                        metrics.counter("scheduler.rejected").inc()
+                    continue
                 instance_free, instance = heapq.heappop(free_at)
                 start = max(arrival, instance_free)
                 finish = start + self.service(request)
@@ -179,9 +263,10 @@ class RequestScheduler:
                         finish - arrival)
         if metrics.enabled:
             self._observe_queue_depth(metrics, completed)
-        makespan = max(c.finish_s for c in completed)
+        makespan = max(c.finish_s for c in completed) if completed else 0.0
         return ServiceStats(completed=completed, makespan_s=makespan,
-                            num_instances=self.num_instances)
+                            num_instances=self.num_instances,
+                            rejected=rejected)
 
     @staticmethod
     def _observe_queue_depth(metrics, completed: List[CompletedRequest]

@@ -9,6 +9,10 @@ Commands:
 * ``platform`` — the CXL-PNM platform summary (Tables I/II headline).
 * ``estimate <model> [--in N] [--out N]`` — single-device latency/energy
   for a zoo model on CXL-PNM and an A100.
+* ``serve <model> [--device pnm|gpu] [--engine both|fcfs|continuous]``
+  — open-loop Poisson serving simulation comparing FCFS-exclusive
+  dispatch with the continuous-batching engine (KV admission control,
+  TTFT/TBT percentiles).
 * ``isa`` — the accelerator's generated ISA reference.
 * ``roofline <model>`` — roofline placement of a zoo model's stages on
   CXL-PNM and the A100.
@@ -17,7 +21,7 @@ Commands:
 * ``trace summarize <file>`` — top spans of an exported trace by
   cumulative simulated time.
 
-``run`` and ``generate`` accept ``--trace-out FILE`` and
+``run``, ``serve``, and ``generate`` accept ``--trace-out FILE`` and
 ``--metrics-out FILE``: they install a process-wide tracer/registry
 (:func:`repro.obs.observe`) for the command, then export a Chrome-trace
 JSON (load it in ``chrome://tracing`` or https://ui.perfetto.dev) and a
@@ -140,6 +144,56 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.accelerator import CXLPNMDevice
+    from repro.appliance import (
+        ContinuousBatchScheduler,
+        RequestScheduler,
+        poisson_arrivals,
+        timer_service,
+    )
+    from repro.llm import InferenceRequest
+    from repro.perf.analytical import BatchStepTimer, PnmPerfModel
+    config = get_model(args.model)
+    if args.device == "pnm":
+        device = CXLPNMDevice()
+        perf = PnmPerfModel(device)
+        memory = device.memory_capacity
+    else:
+        perf = GpuPerfModel(A100_40G)
+        memory = A100_40G.memory_bytes
+    if args.memory_gb is not None:
+        memory = int(args.memory_gb * 1e9)
+    requests = [InferenceRequest(args.input_tokens, args.output_tokens,
+                                 request_id=i)
+                for i in range(args.requests)]
+    service = timer_service(config, perf)
+    rate = args.rate
+    if rate is None:
+        # Default: overload one exclusive instance 4x, the regime where
+        # continuous batching pays off.
+        rate = 4.0 / service(requests[0])
+    arrivals = poisson_arrivals(len(requests), rate, seed=args.seed)
+    runs = []
+    if args.engine in ("fcfs", "both"):
+        fcfs = RequestScheduler(service, num_instances=1, config=config,
+                                memory_bytes=memory)
+        runs.append(("fcfs-exclusive", fcfs.run(requests, arrivals)))
+    if args.engine in ("continuous", "both"):
+        engine = ContinuousBatchScheduler(
+            BatchStepTimer(config, perf), config, memory,
+            max_batch=args.max_batch)
+        runs.append(("continuous", engine.run(requests, arrivals)))
+    print(f"{config.name} on {perf.name}: {len(requests)} requests "
+          f"({args.input_tokens} in / {args.output_tokens} out), "
+          f"Poisson {rate:.3f} req/s, memory {memory / 1e9:.0f} GB")
+    for name, stats in runs:
+        print(f"  [{name}]")
+        for key, value in stats.as_dict().items():
+            print(f"    {key:<24} {value:12.4f}")
+    return 0
+
+
 def _cmd_isa(_args) -> int:
     from repro.accelerator.isa_reference import render_isa_reference
     print(render_isa_reference())
@@ -210,6 +264,28 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--out", dest="output_tokens", type=int,
                           default=1024)
     estimate.set_defaults(func=_cmd_estimate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate serving a zoo model: FCFS vs continuous batching")
+    serve.add_argument("model")
+    serve.add_argument("--device", choices=["pnm", "gpu"], default="pnm")
+    serve.add_argument("--engine",
+                       choices=["fcfs", "continuous", "both"],
+                       default="both")
+    serve.add_argument("--requests", type=int, default=32)
+    serve.add_argument("--rate", type=float, default=None,
+                       help="Poisson arrival rate in req/s "
+                            "(default: 4x one instance's capacity)")
+    serve.add_argument("--in", dest="input_tokens", type=int, default=64)
+    serve.add_argument("--out", dest="output_tokens", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=None)
+    serve.add_argument("--memory-gb", type=float, default=None,
+                       help="override device memory (GB) to exercise "
+                            "KV admission control")
+    serve.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     sub.add_parser("isa", help="accelerator ISA reference").set_defaults(
         func=_cmd_isa)

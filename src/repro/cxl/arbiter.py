@@ -99,6 +99,28 @@ class Arbiter:
         if not 0.0 < self.pnm_weight < 1.0:
             raise ConfigurationError("pnm_weight must be in (0, 1)")
 
+    def _blocking_windows(self, pnm_task_s: float, interval_s: float
+                          ) -> Tuple[int, float, float, float]:
+        """Blocking-poll task accounting over one interval.
+
+        Returns ``(full_tasks, tail_task_s, pnm_time, blocked)`` where
+        ``tail_task_s`` is the trailing *partial* task truncated by the
+        end of the interval.  Tasks are back-to-back (each poll that
+        observes completion immediately launches the next task), so the
+        tail window is still blocked for the host: either its task runs
+        to the interval end, or it completes with less than one poll
+        residue remaining.  Flooring the task count — the old behaviour —
+        under-counted both PNM served bytes and ``host_blocked_s`` for
+        intervals that are not near-multiples of the cycle.
+        """
+        cycle = pnm_task_s + self.poll_interval_s / 2.0
+        full_tasks = int(interval_s // cycle)
+        tail_s = interval_s - full_tasks * cycle
+        tail_task_s = min(tail_s, pnm_task_s)
+        pnm_time = full_tasks * pnm_task_s + tail_task_s
+        blocked = min(interval_s, full_tasks * cycle + tail_s)
+        return full_tasks, tail_task_s, pnm_time, blocked
+
     def _wrr_share(self, demand: Dict[Source, float]
                    ) -> Dict[Source, float]:
         """Allocate bandwidth: weights bind only under contention."""
@@ -151,12 +173,17 @@ class Arbiter:
                               stats.mean_wait_s[source] * 1e6})
             return
         cycle = pnm_task_s + self.poll_interval_s / 2.0
-        tasks = int(interval_s // cycle)
+        full_tasks, tail_task_s, _pnm_time, _blocked = \
+            self._blocking_windows(pnm_task_s, interval_s)
+        tasks = full_tasks + (1 if tail_task_s > 0.0 else 0)
         traced = min(tasks, MAX_TRACED_TASK_WINDOWS)
         for i in range(traced):
+            # The last task window may be the partial one truncated by
+            # the end of the interval.
+            dur = pnm_task_s if i < full_tasks else tail_task_s
             tracer.sim_span(
                 "pnm_task(host blocked)", start_s=i * cycle,
-                dur_s=pnm_task_s, track="cxl.arbiter", category="cxl",
+                dur_s=dur, track="cxl.arbiter", category="cxl",
                 args=({"tasks_total": tasks, "tasks_traced": traced}
                       if i == 0 else None))
 
@@ -187,11 +214,11 @@ class Arbiter:
             self._observe(policy, stats, pnm_task_s, interval_s)
             return stats
 
-        # Blocking-poll: tasks alternate with poll-delayed host windows.
-        cycle = pnm_task_s + self.poll_interval_s / 2.0
-        tasks = int(interval_s // cycle)
-        pnm_time = tasks * pnm_task_s
-        blocked = tasks * (pnm_task_s + self.poll_interval_s / 2.0)
+        # Blocking-poll: back-to-back tasks with poll-delayed handovers,
+        # including the trailing partial task window (see
+        # :meth:`_blocking_windows` for why the tail counts as blocked).
+        _full, _tail, pnm_time, blocked = self._blocking_windows(
+            pnm_task_s, interval_s)
         host_time = max(0.0, interval_s - blocked)
         stats.served_bytes[Source.PNM] = min(
             pnm.bandwidth * interval_s, self.memory_bandwidth * pnm_time)

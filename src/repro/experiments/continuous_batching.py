@@ -1,0 +1,157 @@
+"""FCFS-exclusive vs continuous batching under open-loop Poisson load.
+
+The paper's §VII batching discussion (via its ref [10]) argues that
+batched generation turns the bandwidth-bound GEMV weight term into
+small-batch GEMM.  This experiment measures what that is worth at the
+*service* level: the same OPT-13B request stream is offered, at an
+arrival rate past the single-stream capacity, to
+
+* the FCFS scheduler serving each request on an exclusive instance, and
+* the continuous-batching engine re-forming the batch every decode step
+  under KV admission control,
+
+on both the CXL-PNM and A100 device models.  A third scenario starves
+the KV budget on purpose to show admission control binding: occupancy
+never exceeds ``max_batch_for_memory`` and the latency tail absorbs the
+queueing instead.
+
+On the device models the two platforms split: the A100 streams weights
+once per step, so decode cost is nearly batch-invariant and throughput
+scales with occupancy; the CXL-PNM's 64-row PE array makes small-batch
+GEMM cost near-linear until the array fills, so its win is real but
+bounded — the DFX-lineage trade-off the paper discusses.
+
+Run with ``repro run continuous-batching --trace-out trace.json`` for
+per-iteration batch spans and per-request slot timelines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accelerator.device import CXLPNMDevice
+from repro.appliance.continuous import (
+    ContinuousBatchScheduler,
+    ContinuousBatchStats,
+)
+from repro.appliance.scheduler import (
+    RequestScheduler,
+    ServiceStats,
+    poisson_arrivals,
+    timer_service,
+)
+from repro.experiments.report import ExperimentResult
+from repro.gpu import A100_40G
+from repro.llm.batching import max_batch_for_memory
+from repro.llm.config import OPT_13B
+from repro.llm.kvcache import peak_kv_bytes
+from repro.llm.workload import PAPER_INPUT_TOKENS, InferenceRequest
+from repro.perf.analytical import (
+    BatchStepTimer,
+    GpuPerfModel,
+    PnmPerfModel,
+)
+
+MODEL = OPT_13B
+NUM_REQUESTS = 32
+OUTPUT_TOKENS = 64
+#: Offered load relative to one exclusive instance's capacity; > 1 means
+#: FCFS-exclusive saturates and its queue grows without bound.
+OVERLOAD_FACTOR = 4.0
+#: KV budget of the starved scenario, in concurrent requests.
+STARVED_BATCH = 4
+ARRIVAL_SEED = 0
+
+
+def _workload() -> List[InferenceRequest]:
+    return [InferenceRequest(PAPER_INPUT_TOKENS, OUTPUT_TOKENS,
+                             request_id=i)
+            for i in range(NUM_REQUESTS)]
+
+
+def compare_device(perf_model, memory_bytes: int,
+                   max_batch: int = None
+                   ) -> "tuple[ServiceStats, ContinuousBatchStats, float]":
+    """Run both schedulers on one device; returns (fcfs, continuous, rate)."""
+    requests = _workload()
+    service = timer_service(MODEL, perf_model)
+    rate = OVERLOAD_FACTOR / service(requests[0])
+    arrivals = poisson_arrivals(NUM_REQUESTS, rate, seed=ARRIVAL_SEED)
+    fcfs = RequestScheduler(service, num_instances=1, config=MODEL,
+                            memory_bytes=memory_bytes
+                            ).run(requests, arrivals)
+    step = BatchStepTimer(MODEL, perf_model)
+    continuous = ContinuousBatchScheduler(
+        step, MODEL, memory_bytes, max_batch=max_batch
+    ).run(requests, arrivals)
+    return fcfs, continuous, rate
+
+
+def run() -> ExperimentResult:
+    pnm_device = CXLPNMDevice()
+    scenarios = [
+        ("CXL-PNM", PnmPerfModel(pnm_device), pnm_device.memory_capacity),
+        ("A100-40G", GpuPerfModel(A100_40G), A100_40G.memory_bytes),
+    ]
+    total_ctx = PAPER_INPUT_TOKENS + OUTPUT_TOKENS
+    rows: List[dict] = []
+    for name, perf, memory in scenarios:
+        fcfs, cont, rate = compare_device(perf, memory)
+        kv_cap = max_batch_for_memory(MODEL, memory, total_ctx)
+        rows.append({
+            "scenario": f"{name} throughput (tok/s), fcfs vs continuous",
+            "fcfs": fcfs.throughput_tokens_per_s,
+            "continuous": cont.throughput_tokens_per_s,
+            "extra": cont.throughput_tokens_per_s
+            / fcfs.throughput_tokens_per_s,
+        })
+        rows.append({
+            "scenario": f"{name} mean latency (s), fcfs vs continuous",
+            "fcfs": fcfs.mean_latency_s,
+            "continuous": cont.mean_latency_s,
+            "extra": rate,
+        })
+        rows.append({
+            "scenario": f"{name} continuous TTFT / TBT (s)",
+            "fcfs": float("nan"),
+            "continuous": cont.mean_ttft_s,
+            "extra": cont.mean_tbt_s,
+        })
+        rows.append({
+            "scenario": f"{name} peak occupancy / KV batch cap",
+            "fcfs": float(fcfs.num_instances),
+            "continuous": float(cont.max_occupancy),
+            "extra": float(kv_cap),
+        })
+
+    # Admission control binding: KV room for only STARVED_BATCH requests.
+    starved_memory = MODEL.param_bytes + STARVED_BATCH * peak_kv_bytes(
+        MODEL, PAPER_INPUT_TOKENS, OUTPUT_TOKENS)
+    _fcfs, starved, _rate = compare_device(
+        PnmPerfModel(pnm_device), starved_memory)
+    rows.append({
+        "scenario": "CXL-PNM starved KV: peak occupancy / admission cap",
+        "fcfs": float("nan"),
+        "continuous": float(starved.max_occupancy),
+        "extra": float(max_batch_for_memory(MODEL, starved_memory,
+                                            total_ctx)),
+    })
+    return ExperimentResult(
+        experiment_id="continuous-batching",
+        title=f"{MODEL.name} continuous batching vs FCFS-exclusive at "
+              f"{OVERLOAD_FACTOR:.0f}x single-stream load",
+        rows=rows,
+        columns=["scenario", "fcfs", "continuous", "extra"],
+        notes=[
+            "Open-loop Poisson arrivals (fixed seed) at "
+            f"{OVERLOAD_FACTOR:.0f}x one exclusive instance's capacity; "
+            "identical arrival times feed both schedulers per device.",
+            "Throughput 'extra' column is the continuous/fcfs speedup; "
+            "latency 'extra' is the offered rate (req/s).",
+            "The A100 streams weights once per decode step, so its "
+            "speedup tracks occupancy; the CXL-PNM's 64-row PE array "
+            "charges small-batch GEMM near-linearly until it fills.",
+            "The starved-KV row shows admission control binding: "
+            "occupancy stops at the KV budget, never beyond it.",
+        ],
+    )

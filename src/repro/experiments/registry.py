@@ -7,6 +7,7 @@ from typing import Callable, Dict, List
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
+    continuous_batching,
     disadvantages,
     fig02_capacity_bandwidth,
     fig03_memcpy_breakdown,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "disadvantages": disadvantages.run,
     "sensitivity": sensitivity.run,
     "service": service_level.run,
+    "continuous-batching": continuous_batching.run,
 }
 
 

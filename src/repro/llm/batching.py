@@ -18,6 +18,7 @@ from typing import List
 from repro.errors import ConfigurationError, ParallelismError
 from repro.llm.config import LLMConfig
 from repro.llm.graph import StageShape, embedding_ops, lm_head_ops
+from repro.llm.kvcache import kv_spare_bytes
 from repro.llm.ops import OpKind, OpSpec, matmul_op, vector_op
 
 
@@ -95,9 +96,20 @@ def batched_gen_layer_ops(config: LLMConfig, context_len: int, batch: int,
 def batched_gen_stage_ops(config: LLMConfig, context_len: int, batch: int,
                           tensor_parallel: int = 1) -> List[OpSpec]:
     """A full batched gen step across all decoding layers plus LM heads."""
-    shape = StageShape(batch_tokens=batch,
-                       context_len=max(batch, context_len))
-    ops = embedding_ops(config, shape)
+    if batch < 1:
+        raise ConfigurationError(f"batch={batch} must be >= 1")
+    # Embedding: one gather row per request.  StageShape couples rows to
+    # the attention span (a B-row stage implies span >= B in the
+    # single-request graph), which is wrong here — each request embeds
+    # one token at its *own* position — so build from the batch-1 shape
+    # and scale the row count instead of widening the span.
+    embed = embedding_ops(config, StageShape(batch_tokens=1, context_len=1))
+    ops = [OpSpec(name=op.name, kind=op.kind,
+                  flops=op.flops * batch,
+                  weight_bytes=op.weight_bytes * batch,
+                  input_bytes=op.input_bytes * batch,
+                  output_bytes=op.output_bytes * batch)
+           for op in embed]
     for i in range(config.num_layers):
         ops.extend(batched_gen_layer_ops(config, context_len, batch,
                                          tensor_parallel,
@@ -124,8 +136,6 @@ def batch_kv_bytes(config: LLMConfig, context_len: int, batch: int) -> int:
 def max_batch_for_memory(config: LLMConfig, memory_bytes: int,
                          context_len: int) -> int:
     """Largest concurrent batch whose params + KV fit in a device."""
-    if memory_bytes <= config.param_bytes:
-        return 0
-    spare = memory_bytes - config.param_bytes
+    spare = kv_spare_bytes(config, memory_bytes)
     per_request = context_len * config.kv_bytes_per_token()
     return int(spare // per_request)

@@ -63,6 +63,17 @@ def peak_kv_bytes(config: LLMConfig, input_len: int, output_len: int) -> int:
     return total_tokens * config.kv_bytes_per_token()
 
 
+def kv_spare_bytes(config: LLMConfig, memory_bytes: int) -> int:
+    """Device bytes left for KV caches once parameters are resident.
+
+    The admission-control budget of the serving schedulers: zero when the
+    parameters alone overflow the device.
+    """
+    if memory_bytes < 0:
+        raise ConfigurationError(f"negative memory_bytes={memory_bytes}")
+    return max(0, memory_bytes - config.param_bytes)
+
+
 def request_fits(config: LLMConfig, memory_bytes: int, input_len: int,
                  output_len: int, batch: int = 1) -> bool:
     """Whether parameters plus ``batch`` requests' peak KV fit in memory."""

@@ -15,8 +15,8 @@ simulator (§VII); the instruction-level simulator in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.gpu.device import GPUSpec
 from repro.gpu.kernels import GpuKernelModel
 from repro.gpu.power import GpuPowerModel
+from repro.llm.batching import batched_gen_stage_ops
 from repro.llm.config import LLMConfig
 from repro.llm.graph import gen_stage_ops, sum_stage_ops
 from repro.llm.ops import OpKind, OpSpec
@@ -271,3 +272,77 @@ class InferenceTimer:
             sum_time_s=sum_r.time_s,
             gen_time_s=gen_r.time_s,
             energy_j=group_energy)
+
+
+@dataclass
+class BatchStepTimer:
+    """Per-iteration costs for the continuous-batching scheduler.
+
+    One *decode step* runs a batched gen stage — each running request
+    contributes one token row, the weights stream once — so its cost
+    comes from :func:`~repro.llm.batching.batched_gen_stage_ops`; one
+    *prefill* is the plain sum stage of a newly admitted request.
+
+    Decode cost is affine in the attention span, so the scheduler may
+    quote a step at the batch's mean context.  Shapes repeat across
+    thousands of simulated iterations; results are memoized after
+    quantizing the context up to ``context_quantum`` (set it to 1 for
+    exact per-context costing).
+
+    Attributes:
+        config: The model.
+        model: Device performance model (one device or one tensor-
+            parallel shard).
+        tensor_parallel: Ways the model is split.
+        comm: Per-step communication model (batch tokens -> seconds).
+        context_quantum: Context quantization step for memoization.
+    """
+
+    config: LLMConfig
+    model: DevicePerfModel
+    tensor_parallel: int = 1
+    comm: CommModel = no_comm
+    context_quantum: int = 32
+    _prefill_cache: Dict[int, float] = field(
+        default_factory=dict, repr=False)
+    _decode_cache: Dict[Tuple[int, int], float] = field(
+        default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel < 1:
+            raise ConfigurationError("tensor_parallel must be >= 1")
+        if self.context_quantum < 1:
+            raise ConfigurationError("context_quantum must be >= 1")
+
+    def prefill_s(self, input_len: int) -> float:
+        """Seconds to run one request's sum stage (emits its first token)."""
+        if input_len < 1:
+            raise ConfigurationError("input_len must be >= 1")
+        cached = self._prefill_cache.get(input_len)
+        if cached is None:
+            ops = sum_stage_ops(self.config, input_len, self.tensor_parallel)
+            cached = sum(self.model.op_time(op) for op in ops) \
+                + self.comm(input_len)
+            self._prefill_cache[input_len] = cached
+        return cached
+
+    def _quantize(self, context_len: int) -> int:
+        q = self.context_quantum
+        quantized = ((context_len + q - 1) // q) * q
+        # Never quantize past the model's position budget (unless the
+        # caller's context already exceeds it).
+        return min(quantized, max(context_len, self.config.max_seq_len))
+
+    def decode_step_s(self, batch: int, context_len: int) -> float:
+        """Seconds for one batched gen step at the given attention span."""
+        if batch < 1 or context_len < 1:
+            raise ConfigurationError("batch and context must be >= 1")
+        key = (batch, self._quantize(context_len))
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            ops = batched_gen_stage_ops(self.config, key[1], batch,
+                                        self.tensor_parallel)
+            cached = sum(self.model.op_time(op) for op in ops) \
+                + self.comm(batch)
+            self._decode_cache[key] = cached
+        return cached

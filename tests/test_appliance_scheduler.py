@@ -1,6 +1,7 @@
 """Request scheduler: FCFS dispatch, queueing, statistics."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.appliance.scheduler import (
     RequestScheduler,
@@ -10,7 +11,8 @@ from repro.appliance.scheduler import (
 )
 from repro.accelerator import CXLPNMDevice
 from repro.errors import ConfigurationError
-from repro.llm import InferenceRequest, OPT_1_3B, sampled_workload
+from repro.llm import InferenceRequest, OPT_1_3B, sampled_workload, tiny_config
+from repro.obs import MetricsRegistry
 from repro.perf.analytical import PnmPerfModel
 
 
@@ -74,6 +76,93 @@ class TestScheduler:
             scheduler.run([])
         with pytest.raises(ConfigurationError):
             scheduler.run([InferenceRequest(1, 1)], arrival_times=[0, 1])
+
+    def test_fcfs_stable_under_tied_arrivals(self):
+        """Equal arrival times must not reorder requests: completion
+        order on one instance follows submission order."""
+        scheduler = RequestScheduler(_constant_service(1.0),
+                                     num_instances=1)
+        requests = [InferenceRequest(1, 1, request_id=i)
+                    for i in range(8)]
+        stats = scheduler.run(requests, arrival_times=[0.0] * 8)
+        order = [c.request.request_id
+                 for c in sorted(stats.completed,
+                                 key=lambda c: c.finish_s)]
+        assert order == list(range(8))
+
+
+class TestAdmission:
+    """Infeasible requests are rejected, never served with fake latency."""
+
+    def test_oversize_request_rejected(self):
+        cfg = tiny_config()  # max_seq_len = 64
+        scheduler = RequestScheduler(_constant_service(1.0), 1, config=cfg)
+        good = InferenceRequest(4, 4, request_id=0)
+        bad = InferenceRequest(60, 10, request_id=1)
+        stats = scheduler.run([good, bad])
+        assert [c.request.request_id for c in stats.completed] == [0]
+        (rej,) = stats.rejected
+        assert rej.request.request_id == 1
+        assert "max_seq_len" in rej.reason
+        assert stats.as_dict()["rejected"] == 1.0
+
+    def test_kv_overflow_rejected(self):
+        cfg = tiny_config()
+        scheduler = RequestScheduler(
+            _constant_service(1.0), 1, config=cfg,
+            memory_bytes=cfg.param_bytes + cfg.kv_bytes_per_token())
+        stats = scheduler.run([InferenceRequest(4, 4, request_id=0)])
+        assert not stats.completed
+        assert "memory" in stats.rejected[0].reason
+
+    def test_all_rejected_reports_zeros(self):
+        cfg = tiny_config()
+        scheduler = RequestScheduler(_constant_service(1.0), 1, config=cfg)
+        stats = scheduler.run([InferenceRequest(60, 10, request_id=i)
+                               for i in range(3)])
+        assert stats.makespan_s == 0.0
+        assert stats.mean_latency_s == 0.0
+        assert stats.p95_latency_s == 0.0
+        assert stats.mean_queue_wait_s == 0.0
+        assert stats.throughput_tokens_per_s == 0.0
+        assert stats.instance_utilization == 0.0
+        for value in stats.as_dict().values():
+            assert value == value  # no NaNs
+
+    def test_rejection_counter(self):
+        cfg = tiny_config()
+        metrics = MetricsRegistry()
+        scheduler = RequestScheduler(_constant_service(1.0), 1, config=cfg,
+                                     metrics=metrics)
+        scheduler.run([InferenceRequest(60, 10), InferenceRequest(4, 4)])
+        assert metrics.counter("scheduler.rejected").value == 1
+
+
+class TestQueueDepthGauge:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 20),
+           rate=st.floats(0.5, 50.0),
+           latency=st.floats(0.01, 2.0),
+           instances=st.integers(1, 4),
+           seed=st.integers(0, 100))
+    def test_never_negative(self, n, rate, latency, instances, seed):
+        metrics = MetricsRegistry()
+        scheduler = RequestScheduler(_constant_service(latency),
+                                     num_instances=instances,
+                                     metrics=metrics)
+        requests = [InferenceRequest(1, 1, request_id=i) for i in range(n)]
+        scheduler.run(requests, poisson_arrivals(n, rate, seed=seed))
+        gauge = metrics.gauge("scheduler.queue_depth")
+        assert gauge.min >= 0
+        assert gauge.max <= n
+
+    def test_tied_arrivals_stay_non_negative(self):
+        metrics = MetricsRegistry()
+        scheduler = RequestScheduler(_constant_service(1.0),
+                                     num_instances=2, metrics=metrics)
+        requests = [InferenceRequest(1, 1, request_id=i) for i in range(6)]
+        scheduler.run(requests, arrival_times=[0.0] * 6)
+        assert metrics.gauge("scheduler.queue_depth").min >= 0
 
 
 class TestTimerService:

@@ -64,6 +64,37 @@ class TestBlockingPoll:
         assert long.mean_wait_s[Source.HOST] \
             > short.mean_wait_s[Source.HOST]
 
+    def test_trailing_partial_task_window_counted(self):
+        """Regression: at interval = 1.5 cycles, the second (truncated)
+        task used to be dropped by the ``interval // cycle`` floor,
+        under-counting both PNM bytes and host blocked time."""
+        arbiter = Arbiter(memory_bandwidth=BW)
+        host, pnm = _streams(200, 200)  # both saturate the memory
+        task = 1e-3
+        cycle = task + arbiter.poll_interval_s / 2.0
+        interval = 1.5 * cycle
+        stats = arbiter.simulate(ArbitrationPolicy.BLOCKING_POLL, host, pnm,
+                                 pnm_task_s=task, interval_s=interval)
+        # Tasks run back-to-back, so the host is starved for the whole
+        # interval: one full task plus a truncated second one.
+        assert stats.host_blocked_s == pytest.approx(interval)
+        assert stats.served_bytes[Source.HOST] == 0.0
+        tail_task = min(0.5 * cycle, task)
+        assert stats.served_bytes[Source.PNM] \
+            == pytest.approx(BW * (task + tail_task))
+
+    def test_interval_shorter_than_one_task(self):
+        """Even a sub-task interval serves (and blocks) proportionally."""
+        arbiter = Arbiter(memory_bandwidth=BW)
+        host, pnm = _streams(200, 200)
+        task = 1e-3
+        interval = 0.25 * task
+        stats = arbiter.simulate(ArbitrationPolicy.BLOCKING_POLL, host, pnm,
+                                 pnm_task_s=task, interval_s=interval)
+        assert stats.host_blocked_s == pytest.approx(interval)
+        assert stats.served_bytes[Source.PNM] \
+            == pytest.approx(BW * interval)
+
 
 class TestD3Comparison:
     def test_hardware_arbitration_beats_blocking_for_host(self):

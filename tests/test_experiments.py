@@ -13,7 +13,8 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig4", "table1", "table2", "fig10", "fig11",
             "table3", "scalability", "validation", "ablations",
-            "disadvantages", "sensitivity", "service"}
+            "disadvantages", "sensitivity", "service",
+            "continuous-batching"}
 
     def test_unknown_experiment(self):
         with pytest.raises(ConfigurationError):

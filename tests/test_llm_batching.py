@@ -22,6 +22,26 @@ class TestBatchedOps:
         plain = total_weight_bytes(gen_stage_ops(OPT_13B, ctx))
         assert batched == pytest.approx(plain, rel=0.01)
 
+    def test_batch_one_matches_unbatched_exactly(self):
+        """Regression: the embedding used to be built with
+        ``StageShape(batch, max(batch, context_len))``, conflating the
+        batch with the attention span.  Batch=1 must now reduce to the
+        unbatched gen-stage graph op for op."""
+        ctx = 576
+        assert batched_gen_stage_ops(OPT_13B, ctx, 1) \
+            == gen_stage_ops(OPT_13B, ctx)
+
+    def test_embedding_scales_with_batch_not_context(self):
+        """Each sequence embeds exactly one new token per decode step,
+        whatever its context length."""
+        def embed_bytes(ctx, batch):
+            ops = batched_gen_stage_ops(OPT_13B, ctx, batch)
+            return sum(op.weight_bytes for op in ops
+                       if op.name.startswith("embed"))
+
+        assert embed_bytes(64, 4) == embed_bytes(1024, 4)
+        assert embed_bytes(64, 8) == 2 * embed_bytes(64, 4)
+
     def test_weights_stream_once_regardless_of_batch(self):
         """The point of batching: parameter traffic is batch-invariant,
         only KV traffic scales."""

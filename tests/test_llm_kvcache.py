@@ -5,6 +5,8 @@ from hypothesis import given, strategies as st
 
 from repro.errors import CapacityError, ConfigurationError
 from repro.llm import KVCache, OPT_13B, peak_kv_bytes, request_fits, tiny_config
+from repro.llm.batching import batch_kv_bytes
+from repro.llm.kvcache import kv_spare_bytes
 
 
 class TestKVCache:
@@ -64,3 +66,37 @@ class TestPeakAndFit:
         cfg = tiny_config()
         assert peak_kv_bytes(cfg, inp, out) \
             <= peak_kv_bytes(cfg, inp, out + 1)
+
+
+class TestConsistency:
+    """The capacity planners and the incremental cache must agree."""
+
+    @given(prompt=st.integers(1, 32), gen=st.integers(0, 31))
+    def test_batch_one_matches_cache_append_math(self, prompt, gen):
+        cfg = tiny_config()
+        cache = KVCache(cfg, tokens=prompt)
+        for _ in range(min(gen, cfg.max_seq_len - prompt)):
+            cache.append(1)
+        ctx = cache.tokens
+        assert batch_kv_bytes(cfg, ctx, 1) == cache.total_bytes
+
+    def test_peak_equals_cache_at_final_context(self):
+        cfg = tiny_config()
+        cache = KVCache(cfg, tokens=10)
+        cache.append(6)
+        assert peak_kv_bytes(cfg, 10, 6) == cache.total_bytes
+
+
+class TestSpareBytes:
+    def test_spare_is_memory_minus_params(self):
+        cfg = tiny_config()
+        memory = cfg.param_bytes + 1234
+        assert kv_spare_bytes(cfg, memory) == 1234
+
+    def test_spare_clamps_at_zero(self):
+        cfg = tiny_config()
+        assert kv_spare_bytes(cfg, cfg.param_bytes // 2) == 0
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kv_spare_bytes(tiny_config(), -1)
