@@ -17,6 +17,7 @@ The emitted code is consumed three ways, from one source of truth:
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -243,14 +244,161 @@ class StageCompiler:
         return self.compile_stage([token], ctx_prev=context_len - 1)
 
 
-def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int
-                   ) -> Tuple[isa.Instruction, ...]:
-    """A stage program with placeholder tokens/addresses for timing only.
+#: Distinguishes programs from different :class:`ProgramCache` instances
+#: (hence different layouts) in :attr:`CachedProgram.timing_key`.
+_CACHE_SERIALS = itertools.count()
 
-    Builds a fake layout with correctly-sized regions but no backing
-    memory, so the timing simulator can schedule real instruction streams
-    for models far larger than simulatable memory.
+
+class CachedProgram(tuple):
+    """A stage program carrying a cheap timing identity.
+
+    ``timing_key`` is ``(cache_serial, batch_tokens, ctx_prev)``:
+    programs with equal keys come from the same :class:`ProgramCache`
+    (same layout, same config) and identical stage geometry, so they
+    schedule identically and the timing simulator may reuse a cached
+    :class:`~repro.perf.simulator.SimulationResult` without rescheduling.
+    The instructions themselves are the ordinary tuple contents.
     """
+
+    timing_key: Tuple[int, int, int]
+
+    def __new__(cls, instructions: Sequence[isa.Instruction],
+                timing_key: Tuple[int, int, int]) -> "CachedProgram":
+        self = super().__new__(cls, instructions)
+        self.timing_key = timing_key
+        return self
+
+
+def _patched(instr: isa.Instruction, **changes) -> isa.Instruction:
+    """Clone a frozen instruction with a few fields swapped.
+
+    ``dataclasses.replace`` re-runs ``__init__``/``__post_init__`` on
+    every clone, which dominated the patch cost; the patched values are
+    produced from an already-validated template (``verify=True`` and the
+    cache tests check the equivalence), so a ``__dict__``-level copy is
+    safe and several times cheaper.
+    """
+    clone = object.__new__(type(instr))
+    clone.__dict__.update(instr.__dict__)
+    clone.__dict__.update(changes)
+    return clone
+
+
+class ProgramCache:
+    """Compile-once, patch-per-token cache of stage programs.
+
+    Decode programs are identical up to the fed-back token id and the
+    context length: instruction order, register names, and weight
+    addresses depend only on the batch size and the layout.  The cache
+    keeps one *template* program per batch size and patches the few
+    geometry-dependent immediates — embedding-gather indices, the
+    position-embedding address, the per-layer KV-append addresses, and
+    the attention spans — with a ``__dict__``-level clone.  The patched
+    program compares equal to a fresh ``compile_stage`` of the same
+    arguments (``verify=True`` asserts this on every patch; the test
+    suite asserts it across geometries).
+
+    Patching rewrites immediates only, never register operands or
+    instruction order, so a patched program inherits the template's
+    validity and is registered with the validate-once registry instead
+    of being re-checked.
+
+    Attributes:
+        hits: Stages served by patching (or returning) a template.
+        misses: Stages that required a full compile.
+    """
+
+    def __init__(self, compiler: StageCompiler, verify: bool = False):
+        self.compiler = compiler
+        self.verify = verify
+        self._serial = next(_CACHE_SERIALS)
+        #: batch size -> (template, template tokens, template ctx_prev,
+        #: tuple of (instruction index, patch kind))
+        self._templates: Dict[int, Tuple[CachedProgram, Tuple[int, ...],
+                                         int, Tuple[Tuple[int, str], ...]]] \
+            = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _patch_plan(program: Sequence[isa.Instruction]
+                    ) -> Tuple[Tuple[int, str], ...]:
+        plan: List[Tuple[int, str]] = []
+        for idx, instr in enumerate(program):
+            if isinstance(instr, isa.DmaGather):
+                plan.append((idx, "gather"))
+            elif isinstance(instr, isa.DmaLoad):
+                # The only load is the position-embedding block, whose
+                # address is ctx_prev rows into the table.
+                plan.append((idx, "addr"))
+            elif isinstance(instr, isa.DmaStore) and len(instr.shape) == 2:
+                # 2-D stores are the KV-cache appends at row ctx_prev;
+                # the 1-D output-token store is geometry-independent.
+                plan.append((idx, "addr"))
+            elif isinstance(instr, isa.MpuMaskedMm):
+                plan.append((idx, "attn"))
+            elif isinstance(instr, isa.MpuAttnContext):
+                plan.append((idx, "ctx"))
+        return tuple(plan)
+
+    def stage(self, tokens: Sequence[int], ctx_prev: int) -> CachedProgram:
+        """Equivalent of ``compiler.compile_stage(tokens, ctx_prev)``."""
+        tokens = tuple(int(t) for t in tokens)
+        m = len(tokens)
+        entry = self._templates.get(m)
+        if entry is None:
+            fresh = self.compiler.compile_stage(tokens, ctx_prev)
+            program = CachedProgram(fresh, (self._serial, m, ctx_prev))
+            isa.validate_program_cached(program)
+            self._templates[m] = (program, tokens, ctx_prev,
+                                  self._patch_plan(program))
+            self.misses += 1
+            return program
+        template, tpl_tokens, tpl_ctx, plan = entry
+        self.hits += 1
+        if tokens == tpl_tokens and ctx_prev == tpl_ctx:
+            return template
+        cfg = self.compiler.config
+        if ctx_prev + m > cfg.max_seq_len:
+            raise CapacityError(
+                f"stage would reach {ctx_prev + m} tokens, beyond "
+                f"max_seq_len={cfg.max_seq_len}")
+        delta_bytes = (ctx_prev - tpl_ctx) * cfg.d_model * 4
+        ctx = ctx_prev + m
+        code = list(template)
+        for idx, kind in plan:
+            instr = code[idx]
+            if kind == "gather":
+                code[idx] = _patched(instr, indices=tokens)
+            elif kind == "addr":
+                code[idx] = _patched(instr, addr=instr.addr + delta_bytes)
+            elif kind == "attn":
+                code[idx] = _patched(instr, ctx=ctx, mask_offset=ctx_prev)
+            else:  # "ctx"
+                code[idx] = _patched(instr, ctx=ctx)
+        patched = CachedProgram(code, (self._serial, m, ctx_prev))
+        isa.register_validated(patched)
+        if self.verify:
+            fresh = self.compiler.compile_stage(tokens, ctx_prev)
+            if tuple(patched) != fresh:
+                raise ConfigurationError(
+                    "patched stage program diverged from a fresh compile "
+                    f"at batch_tokens={m}, ctx_prev={ctx_prev}")
+        return patched
+
+    def sum_stage(self, prompt: Sequence[int]) -> CachedProgram:
+        """Equivalent of ``compiler.compile_sum_stage(prompt)``."""
+        return self.stage(prompt, ctx_prev=0)
+
+    def gen_stage(self, token: int, context_len: int) -> CachedProgram:
+        """Equivalent of ``compiler.compile_gen_stage(token, ...)``."""
+        if context_len < 1:
+            raise ConfigurationError("gen stage needs prior context")
+        return self.stage((token,), ctx_prev=context_len - 1)
+
+
+def _fake_layout(config: LLMConfig) -> ModelLayout:
+    """A layout with correctly-sized regions but no backing memory."""
     regions: Dict[str, Region] = {}
     cursor = 0
 
@@ -279,5 +427,136 @@ def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int
     fake("lm_head", d * vocab)
     fake("input_buffer", config.max_seq_len * d)
     fake("output_buffer", 8)
-    layout = ModelLayout(config=config, regions=regions)
+    return ModelLayout(config=config, regions=regions)
+
+
+def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int
+                   ) -> Tuple[isa.Instruction, ...]:
+    """A stage program with placeholder tokens/addresses for timing only.
+
+    Builds a fake layout with correctly-sized regions but no backing
+    memory, so the timing simulator can schedule real instruction streams
+    for models far larger than simulatable memory.
+    """
+    layout = _fake_layout(config)
     return StageCompiler(layout).compile_stage([0] * batch_tokens, ctx_prev)
+
+
+def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int
+                           ) -> Tuple[isa.Instruction, ...]:
+    """One batched decode step for timing: a gen token from each of
+    ``batch`` concurrent requests, all at attention span ``ctx_prev + 1``.
+
+    Mirrors :func:`repro.llm.batching.batched_gen_stage_ops`: the weight
+    matmuls run once as ``[batch x k] @ [k x n]`` GEMMs (weights stream
+    once per step), while KV appends and masked attention run per request
+    at ``m=1`` on the adder trees, each against its own cache.  Timing
+    only — addresses come from a fake layout and the program is never
+    executed functionally (register shapes would not line up).
+    """
+    if batch < 1:
+        raise ConfigurationError(f"batch={batch} must be >= 1")
+    if ctx_prev < 0 or ctx_prev + 1 > config.max_seq_len:
+        raise CapacityError(
+            f"context {ctx_prev + 1} beyond max_seq_len="
+            f"{config.max_seq_len}")
+    layout = _fake_layout(config)
+    sc = StageCompiler(layout)
+    cfg = config
+    d, dff = cfg.d_model, cfg.d_ff
+    heads, hd = cfg.num_heads, cfg.head_dim
+    ctx = ctx_prev + 1
+    addr = layout.addr
+    regs = RegisterAllocator()
+    code: List[isa.Instruction] = []
+
+    tok = regs.matrix()
+    code.append(isa.DmaGather(dst=tok, table_addr=addr("token_embedding"),
+                              row_elems=d, indices=(0,) * batch))
+    pos = regs.matrix()
+    code.append(isa.DmaLoad(dst=pos, addr=addr("position_embedding"),
+                            shape=(batch, d)))
+    x = regs.matrix()
+    code.append(isa.VpuAdd(dst=x, a=tok, b=pos))
+    code.append(isa.Free(regs=(tok, pos)))
+
+    for i in range(cfg.num_layers):
+        p = f"layer{i}."
+        h = regs.matrix()
+        code.append(isa.VpuLayerNorm(dst=h, src=x,
+                                     gamma_addr=addr(p + "ln1_gamma"),
+                                     beta_addr=addr(p + "ln1_beta"),
+                                     n=d, eps=LN_EPS))
+        qkv = regs.matrix()
+        sc._matmul(qkv, h, p + "w_qkv", batch, d, 3 * d, code)
+        code.append(isa.VpuBias(dst=qkv, src=qkv,
+                                bias_addr=addr(p + "b_qkv"), n=3 * d))
+        q, k_new, v_new = regs.matrix(), regs.matrix(), regs.matrix()
+        code.append(isa.VpuSlice(dst=q, src=qkv, start=0, stop=d))
+        code.append(isa.VpuSlice(dst=k_new, src=qkv, start=d, stop=2 * d))
+        code.append(isa.VpuSlice(dst=v_new, src=qkv, start=2 * d,
+                                 stop=3 * d))
+        scores, rowmax = regs.matrix(), regs.vector()
+        probs, attn = regs.matrix(), regs.matrix()
+        row_bytes = d * 4
+        for _ in range(batch):
+            code.append(isa.DmaStore(
+                src=k_new,
+                addr=addr(p + "kcache") + ctx_prev * row_bytes,
+                shape=(1, d)))
+            code.append(isa.DmaStore(
+                src=v_new,
+                addr=addr(p + "vcache") + ctx_prev * row_bytes,
+                shape=(1, d)))
+            code.append(isa.MpuMaskedMm(
+                dst=scores, q=q, k_addr=addr(p + "kcache"), heads=heads,
+                head_dim=hd, ctx=ctx, m=1, scale=1.0 / math.sqrt(hd),
+                mask_offset=ctx_prev, rowmax_dst=rowmax))
+            code.append(isa.VpuSoftmax(dst=probs, src=scores,
+                                       rowmax=rowmax))
+            code.append(isa.MpuAttnContext(
+                dst=attn, probs=probs, v_addr=addr(p + "vcache"),
+                heads=heads, head_dim=hd, ctx=ctx, m=1))
+        proj = regs.matrix()
+        sc._matmul(proj, attn, p + "w_proj", batch, d, d, code)
+        code.append(isa.VpuBias(dst=proj, src=proj,
+                                bias_addr=addr(p + "b_proj"), n=d))
+        x2 = regs.matrix()
+        code.append(isa.VpuAdd(dst=x2, a=x, b=proj))
+        code.append(isa.Free(regs=(h, qkv, q, k_new, v_new, scores, rowmax,
+                                   probs, attn, proj, x)))
+        h2 = regs.matrix()
+        code.append(isa.VpuLayerNorm(dst=h2, src=x2,
+                                     gamma_addr=addr(p + "ln2_gamma"),
+                                     beta_addr=addr(p + "ln2_beta"),
+                                     n=d, eps=LN_EPS))
+        f1 = regs.matrix()
+        sc._matmul(f1, h2, p + "w_fc1", batch, d, dff, code)
+        code.append(isa.VpuBias(dst=f1, src=f1,
+                                bias_addr=addr(p + "b_fc1"), n=dff))
+        g = regs.matrix()
+        code.append(isa.VpuGelu(dst=g, src=f1))
+        f2 = regs.matrix()
+        sc._matmul(f2, g, p + "w_fc2", batch, dff, d, code)
+        code.append(isa.VpuBias(dst=f2, src=f2,
+                                bias_addr=addr(p + "b_fc2"), n=d))
+        x3 = regs.matrix()
+        code.append(isa.VpuAdd(dst=x3, a=x2, b=f2))
+        code.append(isa.Free(regs=(h2, f1, g, f2, x2)))
+        x = x3
+
+    final = regs.matrix()
+    code.append(isa.VpuLayerNorm(dst=final, src=x,
+                                 gamma_addr=addr("ln_f_gamma"),
+                                 beta_addr=addr("ln_f_beta"),
+                                 n=d, eps=LN_EPS))
+    logits = regs.matrix()
+    sc._matmul(logits, final, "lm_head", batch, d, cfg.vocab_size, code)
+    token_reg = regs.scalar()
+    code.append(isa.VpuArgmax(dst=token_reg, src=logits))
+    code.append(isa.DmaStore(src=token_reg,
+                             addr=layout.output_region.addr,
+                             shape=(batch,)))
+    code.append(isa.Free(regs=(x, final, logits, token_reg)))
+    code.append(isa.Barrier())
+    return tuple(code)

@@ -88,8 +88,12 @@ class ControlUnit:
             raise DriverError(
                 f"{len(code)} instructions exceed the buffer size "
                 f"{self.max_instructions}")
-        isa.validate_program(code)
-        self._instruction_buffer = tuple(code)
+        if not isinstance(code, tuple):
+            code = tuple(code)
+        isa.validate_program_cached(code)
+        # Keep the tuple identity: the executor and simulator recognise an
+        # already-validated program by identity and skip re-validation.
+        self._instruction_buffer = code
         self._registers[ControlRegister.INSTRUCTION_COUNT] = len(code)
 
     @property

@@ -11,12 +11,28 @@ The executor owns a :class:`~repro.accelerator.memory.DeviceMemory` (model
 parameters, KV cache, I/O buffers) and a
 :class:`~repro.accelerator.registers.RegisterFileState` (live activations),
 and enforces both address ranges and register-file capacity while running.
+
+Two fast-path features keep the decode loop cheap without changing a
+single bit of output (tests assert bitwise equality against the slow
+paths):
+
+* **vectorized kernels** (``vectorized=True``): the per-head attention
+  loops run as one batched ``np.matmul`` and the row-by-row embedding
+  gather as one vectorized table read — per-slice BLAS calls are
+  identical, so results match the looped reference element-for-element;
+* **weight-stream read cache** (``cache_reads=True``): immutable
+  device-memory operands (weights, biases, LayerNorm parameters) are
+  read once and reused read-only.  Any store overlapping a cached range
+  invalidates it, ranges the executor itself has written (KV cache,
+  output buffer) are never cached, and a
+  :attr:`~repro.accelerator.memory.DeviceMemory.version` check detects
+  writes performed outside the executor between runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +40,8 @@ from repro.accelerator import isa
 from repro.accelerator.memory import DeviceMemory
 from repro.accelerator.registers import RegisterFileState
 from repro.errors import ExecutionError
-from repro.llm.reference import causal_mask, gelu, layernorm, softmax
+from repro.llm.reference import (_GELU_C, causal_mask, gelu, layernorm,
+                                 softmax)
 from repro.obs.context import get_metrics, get_tracer
 
 
@@ -42,7 +59,54 @@ class ExecutionStats:
         self.instructions += 1
         self.flops += instr.flops()
         self.mem_elems += instr.mem_elems() + extra_mem_elems
-        self.by_opcode[instr.opcode] = self.by_opcode.get(instr.opcode, 0) + 1
+        op = instr.opcode
+        self.by_opcode[op] = self.by_opcode.get(op, 0) + 1
+
+    def add_bulk(self, instructions: int, flops: float, mem_elems: float,
+                 by_opcode: Dict[str, int]) -> None:
+        """Fold a precomputed per-program aggregate into the counters."""
+        self.instructions += instructions
+        self.flops += flops
+        self.mem_elems += mem_elems
+        for op, count in by_opcode.items():
+            self.by_opcode[op] = self.by_opcode.get(op, 0) + count
+
+
+def _fast_layernorm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                    eps: float) -> np.ndarray:
+    """Bit-identical :func:`repro.llm.reference.layernorm`, fused.
+
+    Skips the ``astype`` copy (inputs are float32 already) and reuses the
+    centred values instead of letting ``np.var`` recompute the mean:
+    ``_var`` is exactly subtract-mean, square, add.reduce, divide — the
+    same ufunc sequence written out below, so every intermediate rounds
+    identically (the equivalence tests assert it).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    # np.add.reduce IS the ufunc _mean wraps (same pairwise summation),
+    # and dividing by an exact-in-float32 count rounds identically.
+    n = np.float32(x.shape[-1])
+    mean = np.add.reduce(x, axis=-1, keepdims=True) / n
+    centred = x - mean
+    var = np.add.reduce(centred * centred, axis=-1, keepdims=True) / n
+    return centred / np.sqrt(var + eps) * gamma + beta
+
+
+def _fast_gelu(x: np.ndarray) -> np.ndarray:
+    """Bit-identical :func:`repro.llm.reference.gelu` without the
+    ``astype`` copy.  The arithmetic is byte-for-byte the reference
+    expression."""
+    x = np.asarray(x, dtype=np.float32)
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * (x * x * x))))
+
+
+def _fast_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Bit-identical :func:`repro.llm.reference.softmax` without the
+    ``astype`` copy."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.maximum.reduce(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.add.reduce(e, axis=axis, keepdims=True)
 
 
 class Executor:
@@ -50,12 +114,28 @@ class Executor:
 
     def __init__(self, memory: DeviceMemory,
                  registers: Optional[RegisterFileState] = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 vectorized: bool = True, cache_reads: bool = True):
         self.memory = memory
         self.registers = registers or RegisterFileState()
         self.stats = ExecutionStats()
         self._tracer = tracer
         self._metrics = metrics
+        self.vectorized = vectorized
+        self.cache_reads = cache_reads
+        #: (addr, shape) -> (read-only array, start, end)
+        self._read_cache: Dict[Tuple[int, Tuple[int, ...]],
+                               Tuple[np.ndarray, int, int]] = {}
+        #: Merged [start, end) byte ranges this executor has stored to.
+        self._written: List[List[int]] = []
+        self._seen_version = memory.version
+        #: CachedProgram.timing_key -> (instructions, flops, mem_elems,
+        #: by_opcode).  A program's statistics are a pure function of its
+        #: instruction geometry (DMA-store extras equal prod(shape)), so
+        #: repeated geometries skip the per-instruction accounting.
+        self._stats_cache: Dict[Tuple[int, int, int],
+                                Tuple[int, float, float, Dict[str, int]]] \
+            = {}
 
     # -- helpers ----------------------------------------------------------
 
@@ -65,86 +145,165 @@ class Executor:
             return value.reshape(1, -1)
         return value
 
+    def _overlaps_written(self, start: int, end: int) -> bool:
+        for lo, hi in self._written:
+            if start < hi and lo < end:
+                return True
+        return False
+
+    def _note_written(self, start: int, end: int) -> None:
+        # Re-writes inside an already-written span (KV rows on a repeat
+        # generation, the output buffer) need no work: no cached read
+        # ever overlaps a written span, by construction below.
+        for lo, hi in self._written:
+            if lo <= start and end <= hi:
+                return
+        # Invalidate cached reads the store overlaps, then merge the
+        # range into the written list (adjacent ranges coalesce, so KV
+        # appends keep the list short).
+        if self._read_cache:
+            stale = [key for key, (_, lo, hi) in self._read_cache.items()
+                     if start < hi and lo < end]
+            for key in stale:
+                del self._read_cache[key]
+        for span in self._written:
+            if start <= span[1] and span[0] <= end:
+                span[0] = min(span[0], start)
+                span[1] = max(span[1], end)
+                return
+        self._written.append([start, end])
+
+    def _read(self, addr: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Read a tensor, caching operands no store has touched."""
+        if not self.cache_reads:
+            return self.memory.read_tensor(addr, shape)
+        key = (addr, shape)
+        hit = self._read_cache.get(key)
+        if hit is not None:
+            return hit[0]
+        value = self.memory.read_tensor(addr, shape)
+        end = addr + value.nbytes
+        if not self._overlaps_written(addr, end):
+            value.flags.writeable = False
+            self._read_cache[key] = (value, addr, end)
+        return value
+
     # -- instruction semantics --------------------------------------------
 
-    def _exec_dma_load(self, instr: isa.DmaLoad) -> None:
-        self.registers.write(instr.dst,
-                             self.memory.read_tensor(instr.addr, instr.shape))
+    def _exec_dma_load(self, instr: isa.DmaLoad) -> float:
+        self.registers.write(instr.dst, self._read(instr.addr, instr.shape))
+        return 0.0
 
     def _exec_dma_store(self, instr: isa.DmaStore) -> float:
         value = self.registers.read(instr.src)
         self.memory.write_tensor(instr.addr, value)
+        self._seen_version = self.memory.version
+        if self.cache_reads:
+            self._note_written(instr.addr, instr.addr + value.nbytes)
         return float(value.size)
 
-    def _exec_dma_gather(self, instr: isa.DmaGather) -> None:
-        rows = [self.memory.read_row(instr.table_addr, i, instr.row_elems)
-                for i in instr.indices]
-        self.registers.write(instr.dst, np.stack(rows, axis=0))
+    def _exec_dma_gather(self, instr: isa.DmaGather) -> float:
+        if self.vectorized:
+            rows = self.memory.read_rows(instr.table_addr, instr.indices,
+                                         instr.row_elems)
+        else:
+            rows = np.stack(
+                [self.memory.read_row(instr.table_addr, i, instr.row_elems)
+                 for i in instr.indices], axis=0)
+        self.registers.write(instr.dst, rows)
+        return 0.0
 
-    def _exec_mv(self, instr: isa.MpuMv) -> None:
+    def _exec_mv(self, instr: isa.MpuMv) -> float:
         act = self._reg2d(instr.act)
         if act.shape != (1, instr.k):
             raise ExecutionError(
                 f"MPU_MV: activation shape {act.shape} != (1, {instr.k})")
-        weight = self.memory.read_tensor(instr.weight_addr,
-                                         (instr.k, instr.n))
+        weight = self._read(instr.weight_addr, (instr.k, instr.n))
         self.registers.write(instr.dst, act @ weight)
+        return 0.0
 
-    def _exec_mm_pea(self, instr: isa.MpuMmPea) -> None:
+    def _exec_mm_pea(self, instr: isa.MpuMmPea) -> float:
         act = self._reg2d(instr.act)
         if act.shape != (instr.m, instr.k):
             raise ExecutionError(
                 f"{instr.opcode}: activation shape {act.shape} != "
                 f"({instr.m}, {instr.k})")
-        weight = self.memory.read_tensor(instr.weight_addr,
-                                         (instr.k, instr.n))
+        weight = self._read(instr.weight_addr, (instr.k, instr.n))
         result = act @ weight
         self.registers.write(instr.dst, result)
         if isinstance(instr, isa.MpuMmRedumaxPea):
             self.registers.write(instr.rowmax_dst,
                                  result.max(axis=-1, keepdims=True))
+        return 0.0
 
-    def _exec_masked_mm(self, instr: isa.MpuMaskedMm) -> None:
+    def _exec_masked_mm(self, instr: isa.MpuMaskedMm) -> float:
         q = self._reg2d(instr.q)
         d_local = instr.heads * instr.head_dim
         if q.shape != (instr.m, d_local):
             raise ExecutionError(
                 f"{instr.opcode}: q shape {q.shape} != ({instr.m}, {d_local})")
-        keys = self.memory.read_tensor(instr.k_addr, (instr.ctx, d_local))
-        mask = causal_mask(instr.m, instr.ctx, instr.mask_offset)
+        keys = self._read(instr.k_addr, (instr.ctx, d_local))
         scale = np.float32(instr.scale)
-        scores = np.empty((instr.heads, instr.m, instr.ctx),
-                          dtype=np.float32)
-        for h in range(instr.heads):
-            sl = slice(h * instr.head_dim, (h + 1) * instr.head_dim)
-            raw = (q[:, sl] @ keys[:, sl].T) * scale
-            scores[h] = np.where(mask, raw, np.float32(-1e9))
+        if self.vectorized:
+            # One batched matmul over the head axis; each head's slice is
+            # the same BLAS call the per-head loop makes, so results are
+            # bit-identical (tests assert it).
+            q3 = q.reshape(instr.m, instr.heads, instr.head_dim) \
+                .transpose(1, 0, 2)
+            k3 = keys.reshape(instr.ctx, instr.heads, instr.head_dim) \
+                .transpose(1, 2, 0)
+            raw = np.matmul(q3, k3) * scale
+            if instr.mask_offset >= instr.ctx - 1:
+                # Fully visible (every decode step: m == 1, offset ==
+                # ctx - 1): the causal mask is all-True, so masking is a
+                # copy — skip building it.
+                scores = raw
+            else:
+                mask = causal_mask(instr.m, instr.ctx, instr.mask_offset)
+                scores = np.where(mask, raw, np.float32(-1e9))
+        else:
+            mask = causal_mask(instr.m, instr.ctx, instr.mask_offset)
+            scores = np.empty((instr.heads, instr.m, instr.ctx),
+                              dtype=np.float32)
+            for h in range(instr.heads):
+                sl = slice(h * instr.head_dim, (h + 1) * instr.head_dim)
+                raw = (q[:, sl] @ keys[:, sl].T) * scale
+                scores[h] = np.where(mask, raw, np.float32(-1e9))
         self.registers.write(instr.dst, scores)
         if instr.rowmax_dst:
             self.registers.write(instr.rowmax_dst,
                                  scores.max(axis=-1, keepdims=True))
+        return 0.0
 
-    def _exec_attn_ctx(self, instr: isa.MpuAttnContext) -> None:
+    def _exec_attn_ctx(self, instr: isa.MpuAttnContext) -> float:
         probs = self.registers.read(instr.probs)
         expected = (instr.heads, instr.m, instr.ctx)
         if probs.shape != expected:
             raise ExecutionError(
                 f"{instr.opcode}: probs shape {probs.shape} != {expected}")
         d_local = instr.heads * instr.head_dim
-        values = self.memory.read_tensor(instr.v_addr, (instr.ctx, d_local))
-        out = np.empty((instr.m, d_local), dtype=np.float32)
-        for h in range(instr.heads):
-            sl = slice(h * instr.head_dim, (h + 1) * instr.head_dim)
-            out[:, sl] = probs[h] @ values[:, sl]
+        values = self._read(instr.v_addr, (instr.ctx, d_local))
+        if self.vectorized:
+            v3 = values.reshape(instr.ctx, instr.heads, instr.head_dim) \
+                .transpose(1, 0, 2)
+            out = np.ascontiguousarray(
+                np.matmul(probs, v3).transpose(1, 0, 2)) \
+                .reshape(instr.m, d_local)
+        else:
+            out = np.empty((instr.m, d_local), dtype=np.float32)
+            for h in range(instr.heads):
+                sl = slice(h * instr.head_dim, (h + 1) * instr.head_dim)
+                out[:, sl] = probs[h] @ values[:, sl]
         self.registers.write(instr.dst, out)
+        return 0.0
 
-    def _exec_conv2d(self, instr: isa.MpuConv2d) -> None:
+    def _exec_conv2d(self, instr: isa.MpuConv2d) -> float:
         act = self.registers.read(instr.act)
         if act.shape != (instr.in_ch, instr.h, instr.w):
             raise ExecutionError(
                 f"{instr.opcode}: act shape {act.shape} != "
                 f"({instr.in_ch}, {instr.h}, {instr.w})")
-        weight = self.memory.read_tensor(
+        weight = self._read(
             instr.weight_addr,
             (instr.out_ch, instr.in_ch, instr.kh, instr.kw))
         oh, ow = instr.out_hw
@@ -162,12 +321,14 @@ class Executor:
         if instr.gelu:
             out = gelu(out)
         self.registers.write(instr.dst, out.astype(np.float32))
+        return 0.0
 
-    def _exec_transpose(self, instr: isa.MpuTranspose) -> None:
+    def _exec_transpose(self, instr: isa.MpuTranspose) -> float:
         value = self._reg2d(instr.src)
         self.registers.write(instr.dst, np.ascontiguousarray(value.T))
+        return 0.0
 
-    def _exec_softmax(self, instr: isa.VpuSoftmax) -> None:
+    def _exec_softmax(self, instr: isa.VpuSoftmax) -> float:
         src = self.registers.read(instr.src)
         if instr.rowmax:
             # REDUMAX-fused path: reuse the precomputed maxima; identical
@@ -177,21 +338,117 @@ class Executor:
             shifted = src - maxima
             e = np.exp(shifted)
             result = e / e.sum(axis=-1, keepdims=True)
+        elif self.vectorized:
+            result = _fast_softmax(src, axis=-1)
         else:
             result = softmax(src, axis=-1)
-        self.registers.write(instr.dst, result.astype(np.float32))
+        if self.vectorized:
+            # Already float32 by construction; astype would copy.
+            self.registers.write(instr.dst, result)
+        else:
+            self.registers.write(instr.dst, result.astype(np.float32))
+        return 0.0
 
-    def _exec_layernorm(self, instr: isa.VpuLayerNorm) -> None:
+    def _exec_layernorm(self, instr: isa.VpuLayerNorm) -> float:
         src = self._reg2d(instr.src)
-        gamma = self.memory.read_tensor(instr.gamma_addr, (instr.n,))
-        beta = self.memory.read_tensor(instr.beta_addr, (instr.n,))
-        self.registers.write(instr.dst,
-                             layernorm(src, gamma, beta, eps=instr.eps))
+        gamma = self._read(instr.gamma_addr, (instr.n,))
+        beta = self._read(instr.beta_addr, (instr.n,))
+        if self.vectorized:
+            out = _fast_layernorm(src, gamma, beta, instr.eps)
+        else:
+            out = layernorm(src, gamma, beta, eps=instr.eps)
+        self.registers.write(instr.dst, out)
+        return 0.0
 
-    def _exec_bias(self, instr: isa.VpuBias) -> None:
+    def _exec_bias(self, instr: isa.VpuBias) -> float:
         src = self._reg2d(instr.src)
-        bias = self.memory.read_tensor(instr.bias_addr, (instr.n,))
+        bias = self._read(instr.bias_addr, (instr.n,))
         self.registers.write(instr.dst, src + bias)
+        return 0.0
+
+    def _exec_add(self, instr: isa.VpuAdd) -> float:
+        self.registers.write(
+            instr.dst,
+            self.registers.read(instr.a) + self.registers.read(instr.b))
+        return 0.0
+
+    def _exec_mul(self, instr: isa.VpuMul) -> float:
+        self.registers.write(
+            instr.dst,
+            self.registers.read(instr.a) * self.registers.read(instr.b))
+        return 0.0
+
+    def _exec_scale(self, instr: isa.VpuScale) -> float:
+        self.registers.write(
+            instr.dst,
+            self.registers.read(instr.src) * np.float32(instr.constant))
+        return 0.0
+
+    def _exec_gelu(self, instr: isa.VpuGelu) -> float:
+        fn = _fast_gelu if self.vectorized else gelu
+        self.registers.write(instr.dst, fn(self.registers.read(instr.src)))
+        return 0.0
+
+    def _exec_argmax(self, instr: isa.VpuArgmax) -> float:
+        src = self._reg2d(instr.src)
+        self.registers.write(
+            instr.dst, np.array([np.argmax(src[-1])], dtype=np.float32))
+        return 0.0
+
+    def _exec_slice(self, instr: isa.VpuSlice) -> float:
+        src = self._reg2d(instr.src)
+        if instr.stop > src.shape[-1]:
+            raise ExecutionError(
+                f"VPU_SLICE [{instr.start}:{instr.stop}) exceeds "
+                f"width {src.shape[-1]}")
+        self.registers.write(
+            instr.dst,
+            np.ascontiguousarray(src[:, instr.start:instr.stop]))
+        return 0.0
+
+    def _exec_row(self, instr: isa.VpuRow) -> float:
+        src = self._reg2d(instr.src)
+        row = instr.row if instr.row >= 0 else src.shape[0] + instr.row
+        if not 0 <= row < src.shape[0]:
+            raise ExecutionError(
+                f"VPU_ROW {instr.row} outside {src.shape[0]} rows")
+        self.registers.write(instr.dst, src[row:row + 1].copy())
+        return 0.0
+
+    def _exec_free(self, instr: isa.Free) -> float:
+        for reg in instr.regs:
+            self.registers.free(reg)
+        return 0.0
+
+    def _exec_barrier(self, _instr: isa.Barrier) -> float:
+        return 0.0
+
+    #: Concrete instruction type -> handler (resolved once, not via an
+    #: isinstance chain per instruction).
+    _HANDLERS: Dict[type, Callable[["Executor", isa.Instruction], float]] = {
+        isa.DmaLoad: _exec_dma_load,
+        isa.DmaStore: _exec_dma_store,
+        isa.DmaGather: _exec_dma_gather,
+        isa.MpuMmPea: _exec_mm_pea,
+        isa.MpuMmRedumaxPea: _exec_mm_pea,
+        isa.MpuMv: _exec_mv,
+        isa.MpuMaskedMm: _exec_masked_mm,
+        isa.MpuAttnContext: _exec_attn_ctx,
+        isa.MpuConv2d: _exec_conv2d,
+        isa.MpuTranspose: _exec_transpose,
+        isa.VpuAdd: _exec_add,
+        isa.VpuMul: _exec_mul,
+        isa.VpuScale: _exec_scale,
+        isa.VpuBias: _exec_bias,
+        isa.VpuGelu: _exec_gelu,
+        isa.VpuSoftmax: _exec_softmax,
+        isa.VpuLayerNorm: _exec_layernorm,
+        isa.VpuArgmax: _exec_argmax,
+        isa.VpuSlice: _exec_slice,
+        isa.VpuRow: _exec_row,
+        isa.Free: _exec_free,
+        isa.Barrier: _exec_barrier,
+    }
 
     # -- dispatch -----------------------------------------------------------
 
@@ -203,97 +460,79 @@ class Executor:
         recorded as a wall-clock span and an opcode-labelled counter;
         the functional results are identical either way.
         """
-        isa.validate_program(tuple(program))
+        if not isinstance(program, tuple):
+            program = tuple(program)
+        isa.validate_program_cached(program)
+        if self.cache_reads and self.memory.version != self._seen_version:
+            # Something outside this executor wrote device memory (e.g. a
+            # host store between launches): drop every cached read.
+            self._read_cache.clear()
+            self._written.clear()
+            self._seen_version = self.memory.version
         tracer = get_tracer(self._tracer)
         metrics = get_metrics(self._metrics)
+        handlers = self._HANDLERS
+        record = self.stats.record
+        stats_key = getattr(program, "timing_key", None) \
+            if (self.cache_reads and not tracer.enabled
+                and not metrics.enabled) else None
+        agg = self._stats_cache.get(stats_key) \
+            if stats_key is not None else None
         with tracer.span("executor.execute", category="accelerator",
                          instructions=len(program)):
+            if agg is not None:
+                # Known geometry: run the semantics, fold in the
+                # precomputed statistics afterwards.  The handler plan
+                # was recorded on the geometry's first completion — a
+                # timing key pins the template, so the instruction class
+                # at each position cannot have changed.
+                for handler, instr in zip(agg[4], program):
+                    handler(self, instr)
+                self.stats.add_bulk(*agg[:4])
+                return self.stats
+            if stats_key is not None:
+                before = (self.stats.instructions, self.stats.flops,
+                          self.stats.mem_elems,
+                          dict(self.stats.by_opcode))
             for instr in program:
+                handler = handlers.get(type(instr))
+                if handler is None:
+                    raise ExecutionError(
+                        f"no functional semantics for "
+                        f"{type(instr).__name__}")
                 if tracer.enabled:
                     with tracer.span(instr.opcode,
                                      category="accelerator"):
-                        extra = self._dispatch(instr)
+                        extra = handler(self, instr)
                 else:
-                    extra = self._dispatch(instr)
+                    extra = handler(self, instr)
                 if metrics.enabled:
                     metrics.counter("executor.instructions",
                                     opcode=instr.opcode).inc()
                     metrics.counter("executor.flops").inc(instr.flops())
                     metrics.counter("executor.mem_elems").inc(
                         instr.mem_elems() + extra)
-                self.stats.record(instr, extra)
+                record(instr, extra)
+            if stats_key is not None:
+                if len(self._stats_cache) > 4096:
+                    self._stats_cache.clear()
+                stats = self.stats
+                delta_ops = {
+                    op: count - before[3].get(op, 0)
+                    for op, count in stats.by_opcode.items()
+                    if count != before[3].get(op, 0)}
+                self._stats_cache[stats_key] = (
+                    stats.instructions - before[0],
+                    stats.flops - before[1],
+                    stats.mem_elems - before[2],
+                    delta_ops,
+                    tuple(handlers[type(i)] for i in program))
         return self.stats
 
     def _dispatch(self, instr: isa.Instruction) -> float:
         """Execute one instruction; returns extra memory elements."""
-        extra = 0.0
-        if isinstance(instr, isa.DmaLoad):
-            self._exec_dma_load(instr)
-        elif isinstance(instr, isa.DmaStore):
-            extra = self._exec_dma_store(instr)
-        elif isinstance(instr, isa.DmaGather):
-            self._exec_dma_gather(instr)
-        elif isinstance(instr, isa.MpuMmPea):
-            self._exec_mm_pea(instr)
-        elif isinstance(instr, isa.MpuMv):
-            self._exec_mv(instr)
-        elif isinstance(instr, isa.MpuMaskedMm):
-            self._exec_masked_mm(instr)
-        elif isinstance(instr, isa.MpuAttnContext):
-            self._exec_attn_ctx(instr)
-        elif isinstance(instr, isa.MpuConv2d):
-            self._exec_conv2d(instr)
-        elif isinstance(instr, isa.MpuTranspose):
-            self._exec_transpose(instr)
-        elif isinstance(instr, isa.VpuAdd):
-            self.registers.write(
-                instr.dst, self.registers.read(instr.a)
-                + self.registers.read(instr.b))
-        elif isinstance(instr, isa.VpuMul):
-            self.registers.write(
-                instr.dst, self.registers.read(instr.a)
-                * self.registers.read(instr.b))
-        elif isinstance(instr, isa.VpuScale):
-            self.registers.write(
-                instr.dst,
-                self.registers.read(instr.src) * np.float32(
-                    instr.constant))
-        elif isinstance(instr, isa.VpuBias):
-            self._exec_bias(instr)
-        elif isinstance(instr, isa.VpuGelu):
-            self.registers.write(instr.dst,
-                                 gelu(self.registers.read(instr.src)))
-        elif isinstance(instr, isa.VpuSoftmax):
-            self._exec_softmax(instr)
-        elif isinstance(instr, isa.VpuLayerNorm):
-            self._exec_layernorm(instr)
-        elif isinstance(instr, isa.VpuArgmax):
-            src = self._reg2d(instr.src)
-            self.registers.write(
-                instr.dst,
-                np.array([np.argmax(src[-1])], dtype=np.float32))
-        elif isinstance(instr, isa.VpuSlice):
-            src = self._reg2d(instr.src)
-            if instr.stop > src.shape[-1]:
-                raise ExecutionError(
-                    f"VPU_SLICE [{instr.start}:{instr.stop}) exceeds "
-                    f"width {src.shape[-1]}")
-            self.registers.write(
-                instr.dst,
-                np.ascontiguousarray(src[:, instr.start:instr.stop]))
-        elif isinstance(instr, isa.VpuRow):
-            src = self._reg2d(instr.src)
-            row = instr.row if instr.row >= 0 else src.shape[0] + instr.row
-            if not 0 <= row < src.shape[0]:
-                raise ExecutionError(
-                    f"VPU_ROW {instr.row} outside {src.shape[0]} rows")
-            self.registers.write(instr.dst, src[row:row + 1].copy())
-        elif isinstance(instr, isa.Free):
-            for reg in instr.regs:
-                self.registers.free(reg)
-        elif isinstance(instr, isa.Barrier):
-            pass
-        else:
+        handler = self._HANDLERS.get(type(instr))
+        if handler is None:
             raise ExecutionError(
                 f"no functional semantics for {type(instr).__name__}")
-        return extra
+        return handler(self, instr)

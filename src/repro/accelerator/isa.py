@@ -26,6 +26,7 @@ instruction exact numpy semantics; the timing simulator
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -642,3 +643,49 @@ def validate_program(program) -> None:
         written.update(instr.writes())
         if isinstance(instr, Free):
             written.difference_update(instr.regs)
+
+
+# --------------------------------------------------------------------------
+# Validate-once registry
+#
+# A stage program flows through three consumers (instruction buffer,
+# functional executor, timing simulator) and a cached decode program is
+# re-launched every token; validating the same immutable tuple at every
+# hand-off is pure overhead.  The registry keys on object identity and
+# keeps a strong reference to each validated tuple, so an ``id()`` can
+# never be recycled while its entry is live.
+# --------------------------------------------------------------------------
+
+_VALIDATED: "OrderedDict[int, Program]" = OrderedDict()
+_VALIDATED_MAX = 512
+
+
+def _remember_validated(program: Program) -> None:
+    _VALIDATED[id(program)] = program
+    _VALIDATED.move_to_end(id(program))
+    while len(_VALIDATED) > _VALIDATED_MAX:
+        _VALIDATED.popitem(last=False)
+
+
+def register_validated(program: Program) -> Program:
+    """Mark a program as valid without re-running the static checks.
+
+    Only for programs whose validity is inherited by construction — e.g.
+    one patched from an already-validated template where the patch
+    rewrites immediates (token indices, addresses, context lengths) but
+    never instruction order or register operands.  Returns the program.
+    """
+    if isinstance(program, tuple):
+        _remember_validated(program)
+    return program
+
+
+def validate_program_cached(program: Program) -> None:
+    """Validate a program, skipping tuples already validated by identity."""
+    cached = _VALIDATED.get(id(program))
+    if cached is program:
+        _VALIDATED.move_to_end(id(program))
+        return
+    validate_program(program)
+    if isinstance(program, tuple):
+        _remember_validated(program)

@@ -16,8 +16,9 @@ factor so capacity checks against the real module size stay honest.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +59,16 @@ class DeviceMemory:
         self._buffer = np.zeros(capacity, dtype=np.uint8)
         self._regions: Dict[str, Region] = {}
         self._next = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic write counter; bumps on every store.
+
+        Consumers that cache reads (e.g. the executor's weight-stream
+        cache) compare versions to detect writes they did not perform.
+        """
+        return self._version
 
     @property
     def allocated_bytes(self) -> int:
@@ -103,10 +114,24 @@ class DeviceMemory:
         raw = data.view(np.uint8).reshape(-1)
         self._check_range(addr, raw.nbytes)
         self._buffer[addr:addr + raw.nbytes] = raw
+        self._version += 1
+
+    def write_bytes(self, addr: int, data: np.ndarray) -> None:
+        """Store raw bytes at ``addr``, bumping the version counter.
+
+        Every store path — tensors here, CXL.mem line writes in
+        :mod:`repro.cxl.memdev` — must land through a method that bumps
+        :attr:`version`, or read-caching consumers would serve stale
+        data.
+        """
+        raw = np.ascontiguousarray(data, dtype=np.uint8).reshape(-1)
+        self._check_range(addr, raw.nbytes)
+        self._buffer[addr:addr + raw.nbytes] = raw
+        self._version += 1
 
     def read_tensor(self, addr: int, shape: Tuple[int, ...]) -> np.ndarray:
         """Load a float32 tensor of ``shape`` from ``addr`` (a copy)."""
-        nbytes = int(np.prod(shape)) * 4
+        nbytes = math.prod(shape) * 4
         self._check_range(addr, nbytes)
         raw = self._buffer[addr:addr + nbytes]
         return raw.view(np.float32).reshape(shape).copy()
@@ -118,6 +143,25 @@ class DeviceMemory:
             raise AddressError(f"negative row index {row}")
         return self.read_tensor(base_addr + row * row_elems * 4,
                                 (row_elems,))
+
+    def read_rows(self, base_addr: int, rows: Sequence[int], row_elems: int
+                  ) -> np.ndarray:
+        """Gather rows of a 2-D float32 table in one vectorized read.
+
+        Equivalent to stacking :meth:`read_row` per index (same values,
+        same dtype, same errors) without the per-row Python loop.
+        """
+        if not rows:
+            raise AddressError("empty row gather")
+        idx = np.asarray(rows, dtype=np.int64)
+        if idx.min() < 0:
+            raise AddressError(f"negative row index {int(idx.min())}")
+        row_bytes = row_elems * 4
+        span = (int(idx.max()) + 1) * row_bytes
+        self._check_range(base_addr, span)
+        table = self._buffer[base_addr:base_addr + span] \
+            .view(np.float32).reshape(-1, row_elems)
+        return table[idx]
 
     def store_named(self, name: str, tensor: np.ndarray) -> Region:
         """Allocate a region for ``tensor`` and write it."""

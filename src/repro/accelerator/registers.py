@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterator
 
 import numpy as np
@@ -31,8 +32,14 @@ SCALAR_RF_BYTES = 1 * MiB
 _NAME_RE = re.compile(r"^([mvs])(\d+)$")
 
 
+@lru_cache(maxsize=4096)
 def bank_of(reg: str) -> str:
-    """Bank letter of a register name, validating the format."""
+    """Bank letter of a register name, validating the format.
+
+    Cached: the same few dozen compiler-generated names are classified on
+    every register-file access, which made the regex a decode-loop
+    hotspot.
+    """
     match = _NAME_RE.match(reg)
     if not match:
         raise IsaError(
@@ -87,11 +94,17 @@ class RegisterFileState:
 
     def write(self, reg: str, value: np.ndarray) -> None:
         """Set a register, charging its bank for the new footprint."""
+        if type(value) is not np.ndarray or value.dtype != np.float32:
+            value = np.asarray(value, dtype=np.float32)
+        old = self._values.get(reg)
+        if old is not None and old.nbytes == value.nbytes:
+            # Same footprint swap: the bank charge is unchanged (and the
+            # name was validated on the first write).
+            self._values[reg] = value
+            return
         bank = bank_of(reg)
-        value = np.asarray(value, dtype=np.float32)
         new_bytes = self._logical_bytes(value)
-        old_bytes = (self._logical_bytes(self._values[reg])
-                     if reg in self._values else 0)
+        old_bytes = self._logical_bytes(old) if old is not None else 0
         used = self._used[bank] - old_bytes + new_bytes
         if used > self._capacity[bank]:
             raise AllocationError(
@@ -112,7 +125,7 @@ class RegisterFileState:
         bank = bank_of(reg)
         value = self._values.pop(reg, None)
         if value is not None:
-            self._used[bank] -= self._logical_bytes(value)
+            self._used[bank] -= int(value.nbytes * self._logical_scale)
 
     def used_bytes(self, bank: str) -> int:
         if bank not in self._used:

@@ -8,6 +8,7 @@ from repro.appliance.cluster import (
 from repro.appliance.continuous import (
     ContinuousBatchScheduler,
     ContinuousBatchStats,
+    simulated_step_model,
 )
 from repro.appliance.pipeline import PipelinePlan
 from repro.appliance.scheduler import (
@@ -32,6 +33,7 @@ __all__ = [
     "RequestScheduler",
     "ServiceStats",
     "poisson_arrivals",
+    "simulated_step_model",
     "timer_service",
     "CxlCommModel",
     "GpuAppliance",

@@ -71,6 +71,30 @@ class BatchStepModel(Protocol):
         ...
 
 
+def simulated_step_model(config: LLMConfig, device=None,
+                         context_quantum: int = 32) -> BatchStepModel:
+    """A :class:`BatchStepModel` priced by the instruction-level simulator.
+
+    Alternative to :class:`repro.perf.analytical.BatchStepTimer`: steps
+    are costed by scheduling real instruction streams (with unit overlap
+    and shared memory bandwidth) instead of summing per-op analytical
+    times.  Results are memoized per quantized context, and the
+    simulator's own program/duration caches make repeated geometries
+    cheap, so long serving runs stay tractable.
+
+    Args:
+        config: The model.
+        device: A :class:`~repro.accelerator.device.CXLPNMDevice`
+            (default: the paper's).
+        context_quantum: Context quantization step for memoization.
+    """
+    from repro.perf.simulator import AcceleratorSimulator, SimulatedStepTimer
+    simulator = AcceleratorSimulator(device) if device is not None \
+        else AcceleratorSimulator()
+    return SimulatedStepTimer(config, simulator=simulator,
+                              context_quantum=context_quantum)
+
+
 @dataclass(eq=False)
 class _Running:
     """In-flight request state inside the batch (identity semantics)."""

@@ -87,9 +87,10 @@ def _cmd_experiments(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.experiments.sweep import run_sweep
     ids = args.ids or list(EXPERIMENTS)
-    results = [run_experiment(eid) for eid in ids]
+    results = run_sweep(ids, jobs=args.jobs or None)
     for result in results:
         print(result.render())
         print()
@@ -180,9 +181,16 @@ def _cmd_serve(args) -> int:
                                 memory_bytes=memory)
         runs.append(("fcfs-exclusive", fcfs.run(requests, arrivals)))
     if args.engine in ("continuous", "both"):
+        if args.step_model == "sim":
+            if args.device != "pnm":
+                print("error: --step-model sim requires --device pnm")
+                return 2
+            from repro.appliance import simulated_step_model
+            step = simulated_step_model(config, device=device)
+        else:
+            step = BatchStepTimer(config, perf)
         engine = ContinuousBatchScheduler(
-            BatchStepTimer(config, perf), config, memory,
-            max_batch=args.max_batch)
+            step, config, memory, max_batch=args.max_batch)
         runs.append(("continuous", engine.run(requests, arrivals)))
     print(f"{config.name} on {perf.name}: {len(requests)} requests "
           f"({args.input_tokens} in / {args.output_tokens} out), "
@@ -248,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (default: all)")
     run.add_argument("--export", default=None,
                      help="directory for JSON/CSV exports")
+    run.add_argument("-j", "--jobs", type=int, default=1,
+                     help="worker processes for the sweep "
+                          "(default 1 = in-process; 0 picks cpu_count)")
     _add_observability_flags(run)
     run.set_defaults(func=_cmd_run)
 
@@ -280,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--in", dest="input_tokens", type=int, default=64)
     serve.add_argument("--out", dest="output_tokens", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=None)
+    serve.add_argument("--step-model", choices=["analytical", "sim"],
+                       default="analytical",
+                       help="continuous-batching step costs: analytical "
+                            "per-op sums, or the instruction-level "
+                            "simulator (pnm only)")
     serve.add_argument("--memory-gb", type=float, default=None,
                        help="override device memory (GB) to exercise "
                             "KV admission control")

@@ -113,7 +113,9 @@ class FunctionalCxlDevice:
             raise AddressError(f"unaligned line write {addr:#x}")
         if addr + CACHELINE_BYTES > self.memory.capacity:
             raise AddressError(f"line write {addr:#x} beyond device memory")
-        self.memory._buffer[addr:addr + CACHELINE_BYTES] = data
+        # Through the version-bumping store path so executors that cache
+        # reads observe host-side writes (e.g. tensor-parallel broadcast).
+        self.memory.write_bytes(addr, data)
 
     # -- CXL.io (side-band register access, Fig. 6) --------------------------
 

@@ -64,14 +64,16 @@ class CxlPnmDriver:
 
     def __init__(self, memory: DeviceMemory,
                  completion_mode: CompletionMode = CompletionMode.INTERRUPT,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, fast_path: bool = True):
         self.memory = memory
         self.control = ControlUnit()
         self.interrupts = InterruptController()
         self.completion_mode = completion_mode
         self._tracer = tracer
         self._metrics = metrics
-        self._executor = Executor(memory, tracer=tracer, metrics=metrics)
+        self._executor = Executor(memory, tracer=tracer, metrics=metrics,
+                                  vectorized=fast_path,
+                                  cache_reads=fast_path)
         self._launches = 0
         self._poll_count = 0
         self.control.write_register(

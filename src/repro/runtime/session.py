@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.accelerator.compiler import ModelLayout, StageCompiler, load_model
+from repro.accelerator.compiler import (ModelLayout, ProgramCache,
+                                        StageCompiler, load_model)
 from repro.accelerator.device import CXLPNMDevice
 from repro.accelerator.memory import DeviceMemory
 from repro.errors import CapacityError, ConfigurationError
@@ -71,7 +72,7 @@ class InferenceSession:
                  completion_mode: CompletionMode = CompletionMode.INTERRUPT,
                  simulate_timing: bool = True,
                  device: Optional[CXLPNMDevice] = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, fast_path: bool = True):
         config = weights.config
         if memory_bytes is None:
             # Parameters + caches + buffers, with fp32 functional storage
@@ -85,14 +86,19 @@ class InferenceSession:
         self.memory = DeviceMemory(memory_bytes)
         self._tracer = tracer
         self._metrics = metrics
+        self.fast_path = fast_path
         self.driver = CxlPnmDriver(self.memory,
                                    completion_mode=completion_mode,
-                                   tracer=tracer, metrics=metrics)
+                                   tracer=tracer, metrics=metrics,
+                                   fast_path=fast_path)
         self.layout: ModelLayout = load_model(self.memory, weights)
         self.compiler = StageCompiler(self.layout)
+        self.program_cache = ProgramCache(self.compiler) \
+            if fast_path else None
         self._device = device or CXLPNMDevice()
         self.simulator = AcceleratorSimulator(
-            self._device, tracer=tracer, metrics=metrics) \
+            self._device, tracer=tracer, metrics=metrics,
+            memoize=fast_path) \
             if simulate_timing else None
         self._sim_clock_s = 0.0
         self._context_len = 0
@@ -204,15 +210,23 @@ class InferenceSession:
                 f"{num_tokens} generated tokens exceed max_seq_len="
                 f"{self.config.max_seq_len}")
         trace = GenerationTrace()
-        code = self.compiler.compile_stage(list(prompt),
-                                           ctx_prev=self._context_len)
+        cache = self.program_cache
+        if cache is not None:
+            code = cache.stage(prompt, ctx_prev=self._context_len)
+        else:
+            code = self.compiler.compile_stage(list(prompt),
+                                               ctx_prev=self._context_len)
         token = self._run_stage(code, trace, stage="sum_stage")
         trace.tokens.append(token)
         self._context_len += len(prompt)
         for _ in range(num_tokens - 1):
             self._context_len += 1
-            code = self.compiler.compile_gen_stage(
-                trace.tokens[-1], context_len=self._context_len)
+            if cache is not None:
+                code = cache.gen_stage(trace.tokens[-1],
+                                       context_len=self._context_len)
+            else:
+                code = self.compiler.compile_gen_stage(
+                    trace.tokens[-1], context_len=self._context_len)
             token = self._run_stage(code, trace, stage="gen_stage")
             trace.tokens.append(token)
         # context_len counts KV-cache rows: every processed token.  The
