@@ -25,12 +25,51 @@ Subpackages:
 * :mod:`repro.perf` -- analytical and instruction-level timing engines.
 * :mod:`repro.appliance` -- multi-device parallelism and clusters.
 * :mod:`repro.runtime` -- the software stack: driver, library, sessions.
+* :mod:`repro.obs` -- span tracing, metrics, Chrome-trace export.
+* :mod:`repro.faults` -- fault injection and graceful degradation (§IX).
 * :mod:`repro.tco` -- energy, cost, and CO2 accounting.
 * :mod:`repro.experiments` -- one harness per paper table/figure.
 """
 
-from repro.errors import ReproError
+from repro.errors import (
+    AddressError,
+    AdmissionError,
+    AllocationError,
+    CapacityError,
+    ConfigurationError,
+    DeviceLostError,
+    DriverError,
+    ExecutionError,
+    FaultInjectionError,
+    FormFactorError,
+    IsaError,
+    ParallelismError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TransientDeviceError,
+    UncorrectableMemoryError,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "AddressError",
+    "AdmissionError",
+    "AllocationError",
+    "CapacityError",
+    "ConfigurationError",
+    "DeviceLostError",
+    "DriverError",
+    "ExecutionError",
+    "FaultInjectionError",
+    "FormFactorError",
+    "IsaError",
+    "ParallelismError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "TransientDeviceError",
+    "UncorrectableMemoryError",
+    "__version__",
+]

@@ -45,9 +45,11 @@ from repro.appliance.scheduler import (
     CompletedRequest,
     RejectedRequest,
     ServiceStats,
-    infeasible_reason,
+    infeasible_error,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceLostError
+from repro.faults.context import get_faults
+from repro.faults.plan import DeviceFaultEvent, DeviceFaultKind
 from repro.llm.config import LLMConfig
 from repro.llm.kvcache import kv_spare_bytes, peak_kv_bytes
 from repro.llm.workload import InferenceRequest
@@ -95,6 +97,21 @@ def simulated_step_model(config: LLMConfig, device=None,
                               context_quantum=context_quantum)
 
 
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One device failure the engine survived, for the failover timeline.
+
+    Attributes:
+        at_s: Iteration boundary at which the failure took effect.
+        device: Index of the lost device.
+        requeued: In-flight requests returned to the waiting queue.
+    """
+
+    at_s: float
+    device: int
+    requeued: int
+
+
 @dataclass(eq=False)
 class _Running:
     """In-flight request state inside the batch (identity semantics)."""
@@ -104,7 +121,9 @@ class _Running:
     admitted_s: float
     kv_reserved: int
     slot: int
+    device: int = 0
     generated: int = 0
+    failovers: int = 0
     first_token_s: Optional[float] = None
 
     @property
@@ -121,14 +140,36 @@ class _Running:
 class ContinuousBatchStats(ServiceStats):
     """Service statistics plus the batching-specific aggregates.
 
-    ``num_instances`` is always 1 — the whole point is that one
-    instance serves many requests concurrently.
+    ``num_instances`` mirrors the engine's ``num_devices`` (1 unless
+    the run models a multi-device appliance) — each device serves many
+    requests concurrently.  The failover fields are only non-trivial
+    when a fault plan scheduled device events (``repro.faults``):
+    ``failover_events`` is the survived-failure timeline,
+    ``failover_latencies_s`` holds the queue-to-readmission delay of
+    every requeued request, and ``stall_s`` totals transient device
+    stalls charged to the timeline.
     """
 
     num_iterations: int = 0
     max_occupancy: int = 0
     busy_s: float = 0.0
     occupancy_time_s: float = 0.0
+    stall_s: float = 0.0
+    devices_failed: int = 0
+    failover_events: List[FailoverEvent] = field(default_factory=list)
+    failover_latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def failovers(self) -> int:
+        """Total in-flight requests requeued by device failures."""
+        return sum(e.requeued for e in self.failover_events)
+
+    @property
+    def mean_failover_latency_s(self) -> float:
+        """Mean failure-to-readmission delay; 0.0 with no failovers."""
+        if not self.failover_latencies_s:
+            return 0.0
+        return float(np.mean(self.failover_latencies_s))
 
     @property
     def mean_occupancy(self) -> float:
@@ -173,6 +214,10 @@ class ContinuousBatchStats(ServiceStats):
             "mean_ttft_s": self.mean_ttft_s,
             "p95_ttft_s": self.p95_ttft_s,
             "mean_tbt_s": self.mean_tbt_s,
+            "stall_s": self.stall_s,
+            "devices_failed": float(self.devices_failed),
+            "failovers": float(self.failovers),
+            "mean_failover_latency_s": self.mean_failover_latency_s,
         })
         return out
 
@@ -186,10 +231,16 @@ class ContinuousBatchScheduler:
             :class:`repro.perf.analytical.BatchStepTimer` for the
             analytical devices, or any object with the same two methods.
         config: The model being served (drives KV/position budgets).
-        memory_bytes: Device memory; parameters are resident, the rest
-            is the KV admission budget.
-        max_batch: Optional hard cap on concurrent requests (defaults
-            to whatever the KV budget allows).
+        memory_bytes: Per-device memory; parameters are resident, the
+            rest is each device's KV admission budget.
+        max_batch: Optional hard cap on concurrent requests per device
+            (defaults to whatever the KV budget allows).
+        num_devices: Model replicas served in parallel (appliance DP).
+            Each device runs its own batch; an iteration advances all
+            of them, ending at the slowest.  Scheduled device faults
+            from an ambient :class:`~repro.faults.FaultPlan` stall or
+            permanently fail individual devices — the engine requeues
+            the victims and re-admits them against surviving capacity.
         tracer: Optional span tracer; defaults to the ambient/no-op one.
         metrics: Optional metrics registry, resolved the same way.
     """
@@ -198,12 +249,15 @@ class ContinuousBatchScheduler:
     config: LLMConfig
     memory_bytes: int
     max_batch: Optional[int] = None
+    num_devices: int = 1
     tracer: Optional[object] = None
     metrics: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.max_batch is not None and self.max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
+        if self.num_devices < 1:
+            raise ConfigurationError("need at least one device")
         if kv_spare_bytes(self.config, self.memory_bytes) <= 0:
             raise ConfigurationError(
                 f"{self.config.name} parameters leave no KV room in "
@@ -228,20 +282,31 @@ class ContinuousBatchScheduler:
                 "arrival_times must match requests in length")
         tracer = get_tracer(self.tracer)
         metrics = get_metrics(self.metrics)
+        faults = get_faults()
+        events: Sequence[DeviceFaultEvent] = \
+            faults.device_events if faults is not None else ()
+        ev_idx = 0
         kv_budget = kv_spare_bytes(self.config, self.memory_bytes)
         waiting = sorted(zip(requests, arrival_times), key=lambda p: p[1])
         head = 0
         running: List[_Running] = []
         free_slots: List[int] = []
         next_slot = 0
-        kv_reserved = 0
+        kv_reserved = [0] * self.num_devices
+        alive = [True] * self.num_devices
+        stall_pending = [0.0] * self.num_devices
+        requeue_info: Dict[int, tuple] = {}
         completed: List[CompletedRequest] = []
         rejected: List[RejectedRequest] = []
+        failover_events: List[FailoverEvent] = []
+        failover_latencies: List[float] = []
         now = 0.0
         iterations = 0
         max_occupancy = 0
         busy_s = 0.0
         occupancy_time_s = 0.0
+        stall_total_s = 0.0
+        devices_failed = 0
 
         with tracer.span("scheduler.continuous", category="scheduler",
                          requests=len(requests),
@@ -251,27 +316,94 @@ class ContinuousBatchScheduler:
                         and waiting[head][1] > now:
                     now = waiting[head][1]  # idle: jump to next arrival
 
+                # -- scheduled device faults (iteration boundaries) -----
+                while ev_idx < len(events) and events[ev_idx].at_s <= now:
+                    event = events[ev_idx]
+                    ev_idx += 1
+                    if event.device >= self.num_devices \
+                            or not alive[event.device]:
+                        continue  # unmapped or already-dead device
+                    if event.kind is DeviceFaultKind.STALL:
+                        stall_pending[event.device] += event.duration_s
+                        stall_total_s += event.duration_s
+                        if faults is not None:
+                            faults.note_stall(event.duration_s)
+                        if metrics.enabled:
+                            metrics.counter("scheduler.device_stalls").inc()
+                        if tracer.enabled:
+                            tracer.sim_span(
+                                "device_stall", start_s=now,
+                                dur_s=event.duration_s,
+                                track="scheduler.faults", category="faults",
+                                args={"device": event.device})
+                        continue
+                    # Permanent failure: the device's in-flight requests
+                    # lose their KV caches and return to the queue head
+                    # (original order), to re-run admission against the
+                    # surviving capacity.
+                    alive[event.device] = False
+                    devices_failed += 1
+                    victims = [r for r in running
+                               if r.device == event.device]
+                    running = [r for r in running
+                               if r.device != event.device]
+                    for victim in victims:
+                        kv_reserved[event.device] -= victim.kv_reserved
+                        heapq.heappush(free_slots, victim.slot)
+                        requeue_info[id(victim.request)] = (
+                            victim.failovers + 1, now)
+                    waiting[head:head] = [(v.request, v.arrival_s)
+                                          for v in victims]
+                    failover_events.append(FailoverEvent(
+                        at_s=now, device=event.device,
+                        requeued=len(victims)))
+                    if faults is not None:
+                        faults.note_device_failure(requeued=len(victims))
+                    if metrics.enabled:
+                        metrics.counter("scheduler.device_failures").inc()
+                        metrics.counter("scheduler.requeued").inc(
+                            len(victims))
+                    if tracer.enabled:
+                        tracer.sim_span(
+                            "device_fail", start_s=now, dur_s=0.0,
+                            track="scheduler.faults", category="faults",
+                            args={"device": event.device,
+                                  "requeued": len(victims)})
+                if not any(alive):
+                    # Nothing left to serve on: reject the remaining
+                    # work with the typed error instead of hanging.
+                    for request, arrival in waiting[head:]:
+                        error = DeviceLostError(
+                            "all devices failed; serving capacity lost")
+                        rejected.append(RejectedRequest(
+                            request=request, arrival_s=arrival,
+                            reason=str(error), error=error))
+                        if metrics.enabled:
+                            metrics.counter("scheduler.rejected").inc()
+                    head = len(waiting)
+                    break
+
                 # -- admission: FCFS from the queue head ----------------
                 admitted: List[_Running] = []
                 while head < len(waiting) and waiting[head][1] <= now:
                     request, arrival = waiting[head]
-                    reason = infeasible_reason(self.config,
-                                               self.memory_bytes, request)
-                    if reason is not None:
+                    error = infeasible_error(self.config,
+                                             self.memory_bytes, request)
+                    if error is not None:
                         rejected.append(RejectedRequest(
                             request=request, arrival_s=arrival,
-                            reason=reason))
+                            reason=str(error), error=error))
                         head += 1
                         if metrics.enabled:
                             metrics.counter("scheduler.rejected").inc()
                         continue
                     peak = peak_kv_bytes(self.config, request.input_len,
                                          request.output_len)
-                    if kv_reserved + peak > kv_budget:
+                    device = self._pick_device(running, alive, kv_reserved)
+                    if device is None:
+                        break  # every surviving device at max_batch
+                    if kv_reserved[device] + peak > kv_budget:
                         break  # no KV room: head-of-line waits
-                    if self.max_batch is not None \
-                            and len(running) >= self.max_batch:
-                        break
                     if free_slots:
                         slot = heapq.heappop(free_slots)
                     else:
@@ -279,8 +411,18 @@ class ContinuousBatchScheduler:
                         next_slot += 1
                     entry = _Running(request=request, arrival_s=arrival,
                                      admitted_s=now, kv_reserved=peak,
-                                     slot=slot)
-                    kv_reserved += peak
+                                     slot=slot, device=device)
+                    info = requeue_info.pop(id(request), None)
+                    if info is not None:
+                        entry.failovers = info[0]
+                        latency = now - info[1]
+                        failover_latencies.append(latency)
+                        if faults is not None:
+                            faults.note_failover_latency(latency)
+                        if metrics.enabled:
+                            metrics.counter(
+                                "scheduler.failover_readmits").inc()
+                    kv_reserved[device] += peak
                     running.append(entry)
                     admitted.append(entry)
                     head += 1
@@ -290,25 +432,42 @@ class ContinuousBatchScheduler:
                 if not running:
                     continue  # everything due by `now` was rejected
 
-                # -- one iteration: prefills, then one decode step ------
+                # -- one iteration: prefills, then one decode step per
+                #    device; the iteration ends at the slowest device --
                 start = now
-                cursor = now
-                for entry in admitted:
-                    cursor += self.step.prefill_s(entry.request.input_len)
-                    entry.generated = 1
-                    entry.first_token_s = cursor
-                decoders = [r for r in running
-                            if r not in admitted and not r.done]
-                decode_s = 0.0
-                if decoders:
-                    mean_ctx = int(math.ceil(
-                        sum(r.context_len for r in decoders)
-                        / len(decoders)))
-                    decode_s = self.step.decode_step_s(len(decoders),
-                                                       mean_ctx)
-                now = cursor + decode_s
-                for entry in decoders:
-                    entry.generated += 1
+                iter_end = start
+                total_decodes = 0
+                for d in range(self.num_devices):
+                    if not alive[d]:
+                        continue
+                    dev_admitted = [e for e in admitted if e.device == d]
+                    decoders = [r for r in running
+                                if r.device == d and r not in admitted
+                                and not r.done]
+                    if not dev_admitted and not decoders:
+                        continue
+                    cursor = start
+                    if stall_pending[d]:
+                        cursor += stall_pending[d]  # transient stall tax
+                        stall_pending[d] = 0.0
+                    for entry in dev_admitted:
+                        cursor += self.step.prefill_s(
+                            entry.request.input_len)
+                        entry.generated = 1
+                        entry.first_token_s = cursor
+                    decode_s = 0.0
+                    if decoders:
+                        mean_ctx = int(math.ceil(
+                            sum(r.context_len for r in decoders)
+                            / len(decoders)))
+                        decode_s = self.step.decode_step_s(len(decoders),
+                                                           mean_ctx)
+                    end_d = cursor + decode_s
+                    for entry in decoders:
+                        entry.generated += 1
+                    total_decodes += len(decoders)
+                    iter_end = max(iter_end, end_d)
+                now = iter_end
                 iterations += 1
                 occupancy = len(running)
                 max_occupancy = max(max_occupancy, occupancy)
@@ -321,14 +480,15 @@ class ContinuousBatchScheduler:
                     if not entry.done:
                         still.append(entry)
                         continue
-                    kv_reserved -= entry.kv_reserved
+                    kv_reserved[entry.device] -= entry.kv_reserved
                     heapq.heappush(free_slots, entry.slot)
                     completed.append(CompletedRequest(
                         request=entry.request,
                         arrival_s=entry.arrival_s,
                         start_s=entry.admitted_s,
                         finish_s=now,
-                        first_token_s=entry.first_token_s))
+                        first_token_s=entry.first_token_s,
+                        failovers=entry.failovers))
                     if tracer.enabled:
                         tracer.sim_span(
                             "request", start_s=entry.admitted_s,
@@ -351,14 +511,14 @@ class ContinuousBatchScheduler:
                         track="scheduler.batch", category="scheduler",
                         args={"iteration": iterations,
                               "prefills": len(admitted),
-                              "decodes": len(decoders),
+                              "decodes": total_decodes,
                               "occupancy": occupancy,
-                              "kv_reserved_gb": kv_reserved / 1e9})
+                              "kv_reserved_gb": sum(kv_reserved) / 1e9})
                 if metrics.enabled:
                     metrics.gauge("scheduler.batch_occupancy").set(
                         occupancy)
                     metrics.counter("scheduler.decode_steps").inc(
-                        len(decoders))
+                        total_decodes)
                     metrics.counter("scheduler.prefills").inc(
                         len(admitted))
 
@@ -373,7 +533,30 @@ class ContinuousBatchScheduler:
                     c.total_latency_s)
         makespan = max(c.finish_s for c in completed) if completed else 0.0
         return ContinuousBatchStats(
-            completed=completed, makespan_s=makespan, num_instances=1,
+            completed=completed, makespan_s=makespan,
+            num_instances=self.num_devices,
             rejected=rejected, num_iterations=iterations,
             max_occupancy=max_occupancy, busy_s=busy_s,
-            occupancy_time_s=occupancy_time_s)
+            occupancy_time_s=occupancy_time_s,
+            stall_s=stall_total_s, devices_failed=devices_failed,
+            failover_events=failover_events,
+            failover_latencies_s=failover_latencies)
+
+    def _pick_device(self, running: List[_Running], alive: List[bool],
+                     kv_reserved: List[int]) -> Optional[int]:
+        """Least-reserved surviving device with a batch slot, or None.
+
+        Ties break toward the lowest index, so a single-device engine
+        always picks device 0 and multi-device placement is
+        deterministic.
+        """
+        best: Optional[int] = None
+        for d in range(self.num_devices):
+            if not alive[d]:
+                continue
+            if self.max_batch is not None and sum(
+                    1 for r in running if r.device == d) >= self.max_batch:
+                continue
+            if best is None or kv_reserved[d] < kv_reserved[best]:
+                best = d
+        return best

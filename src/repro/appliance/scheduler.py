@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionError, ConfigurationError, ReproError
 from repro.llm.config import LLMConfig
 from repro.llm.kvcache import request_fits
 from repro.llm.workload import InferenceRequest
@@ -44,7 +44,10 @@ class CompletedRequest:
 
     ``first_token_s`` is recorded by schedulers that track tokens at
     iteration granularity (the continuous-batching engine); the
-    request-exclusive FCFS path leaves it ``None``.
+    request-exclusive FCFS path leaves it ``None``.  ``failovers``
+    counts how many times the request was requeued because its device
+    failed mid-flight (continuous engine under a fault plan; always 0
+    otherwise).
     """
 
     request: InferenceRequest
@@ -52,6 +55,7 @@ class CompletedRequest:
     start_s: float
     finish_s: float
     first_token_s: Optional[float] = None
+    failovers: int = 0
 
     @property
     def queue_wait_s(self) -> float:
@@ -79,11 +83,20 @@ class CompletedRequest:
 
 @dataclass(frozen=True)
 class RejectedRequest:
-    """One request turned away at admission, with the reason."""
+    """One request turned away at admission, with the reason.
+
+    ``error`` carries the typed exception
+    (:class:`~repro.errors.AdmissionError` for infeasible requests,
+    :class:`~repro.errors.DeviceLostError` when serving capacity died
+    mid-run); ``reason`` is its human-readable string.  Schedulers
+    record the rejection rather than raising — an admission-controlled
+    run that turns work away is a valid, reportable outcome.
+    """
 
     request: InferenceRequest
     arrival_s: float
     reason: str
+    error: Optional[ReproError] = None
 
 
 @dataclass
@@ -154,10 +167,12 @@ class ServiceStats:
         }
 
 
-def infeasible_reason(config: Optional[LLMConfig],
-                      memory_bytes: Optional[int],
-                      request: InferenceRequest) -> Optional[str]:
-    """Why a request can *never* be served on the device, or ``None``.
+def infeasible_error(config: Optional[LLMConfig],
+                     memory_bytes: Optional[int],
+                     request: InferenceRequest
+                     ) -> Optional[AdmissionError]:
+    """Why a request can *never* be served on the device, as a typed
+    :class:`~repro.errors.AdmissionError` — or ``None`` when feasible.
 
     Checks the two hard limits: the model's position budget and the
     device memory (parameters plus the request's peak KV footprint).
@@ -167,12 +182,21 @@ def infeasible_reason(config: Optional[LLMConfig],
     if config is None:
         return None
     if request.total_tokens > config.max_seq_len:
-        return (f"input+output={request.total_tokens} tokens exceed "
-                f"max_seq_len={config.max_seq_len}")
+        return AdmissionError(
+            f"input+output={request.total_tokens} tokens exceed "
+            f"max_seq_len={config.max_seq_len}")
     if memory_bytes is not None and not request_fits(
             config, memory_bytes, request.input_len, request.output_len):
-        return "params + peak KV exceed device memory"
+        return AdmissionError("params + peak KV exceed device memory")
     return None
+
+
+def infeasible_reason(config: Optional[LLMConfig],
+                      memory_bytes: Optional[int],
+                      request: InferenceRequest) -> Optional[str]:
+    """String form of :func:`infeasible_error`, for reason-only callers."""
+    error = infeasible_error(config, memory_bytes, request)
+    return None if error is None else str(error)
 
 
 @dataclass
@@ -229,11 +253,12 @@ class RequestScheduler:
                          instances=self.num_instances):
             for request, arrival in sorted(zip(requests, arrival_times),
                                            key=lambda p: p[1]):
-                reason = infeasible_reason(self.config, self.memory_bytes,
-                                           request)
-                if reason is not None:
+                error = infeasible_error(self.config, self.memory_bytes,
+                                         request)
+                if error is not None:
                     rejected.append(RejectedRequest(
-                        request=request, arrival_s=arrival, reason=reason))
+                        request=request, arrival_s=arrival,
+                        reason=str(error), error=error))
                     if metrics.enabled:
                         metrics.counter("scheduler.rejected").inc()
                     continue

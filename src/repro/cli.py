@@ -13,6 +13,11 @@ Commands:
   — open-loop Poisson serving simulation comparing FCFS-exclusive
   dispatch with the continuous-batching engine (KV admission control,
   TTFT/TBT percentiles).
+* ``chaos [--crc-rate R] [--fail AT:DEV] ...`` — fault-injection run
+  (``repro.faults``): generation, CXL readback, and multi-device
+  serving under a seeded fault schedule, reporting corrected /
+  uncorrected / retried / failed-over counts.  With no fault flags it
+  runs the default §IX schedule.
 * ``isa`` — the accelerator's generated ISA reference.
 * ``roofline <model>`` — roofline placement of a zoo model's stages on
   CXL-PNM and the A100.
@@ -202,6 +207,66 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_stall(spec: str):
+    """``AT:DURATION[:DEVICE]`` -> (at_s, duration_s, device)."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ConfigurationError(
+            f"--stall wants AT:DURATION[:DEVICE], got {spec!r}")
+    return (float(parts[0]), float(parts[1]),
+            int(parts[2]) if len(parts) == 3 else 0)
+
+
+def _parse_fail(spec: str):
+    """``AT[:DEVICE]`` -> (at_s, device)."""
+    parts = spec.split(":")
+    if len(parts) not in (1, 2):
+        raise ConfigurationError(
+            f"--fail wants AT[:DEVICE], got {spec!r}")
+    return float(parts[0]), int(parts[1]) if len(parts) == 2 else 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos_harness import ChaosConfig, run_chaos
+    from repro.faults.plan import FaultPlan, paper_section_ix_plan
+    custom = any((args.crc_rate, args.upsets_per_tick,
+                  args.double_bit_at, args.transient_rate,
+                  args.fail_at_launch, args.stall, args.fail))
+    if custom:
+        plan = FaultPlan(seed=args.seed)
+        if args.crc_rate:
+            plan = plan.with_link_errors(args.crc_rate)
+        if args.upsets_per_tick or args.double_bit_at:
+            plan = plan.with_memory_upsets(
+                args.upsets_per_tick,
+                double_bit_at_tick=args.double_bit_at,
+                scrub_every_ticks=args.scrub_every)
+        if args.transient_rate or args.fail_at_launch:
+            plan = plan.with_launch_faults(
+                args.transient_rate, fail_at_launch=args.fail_at_launch,
+                max_retries=args.max_retries)
+        for spec in args.stall:
+            at_s, duration_s, device = _parse_stall(spec)
+            plan = plan.with_device_stall(at_s, duration_s, device)
+        for spec in args.fail:
+            at_s, device = _parse_fail(spec)
+            plan = plan.with_device_failure(at_s, device)
+    else:
+        # No fault flags: the default §IX schedule, every mechanism once.
+        plan = paper_section_ix_plan(seed=args.seed)
+    config = ChaosConfig(model=args.model, num_requests=args.requests,
+                         num_devices=args.devices,
+                         memory_gb=args.memory_gb,
+                         arrival_rate_per_s=args.rate)
+    report = run_chaos(plan, config)
+    if args.json:
+        import json
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_isa(_args) -> int:
     from repro.accelerator.isa_reference import render_isa_reference
     print(render_isa_reference())
@@ -302,6 +367,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     _add_observability_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection workload and report RAS behaviour")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--crc-rate", type=float, default=0.0,
+                       help="per-flit CXL CRC error probability")
+    chaos.add_argument("--upsets-per-tick", type=float, default=0.0,
+                       help="mean single-bit upsets per stage against "
+                            "the ECC guard region")
+    chaos.add_argument("--scrub-every", type=int, default=None,
+                       help="ECS scrub period in stages")
+    chaos.add_argument("--double-bit-at", type=int, default=None,
+                       help="force an uncorrectable error at this stage")
+    chaos.add_argument("--transient-rate", type=float, default=0.0,
+                       help="per-launch transient fault probability")
+    chaos.add_argument("--fail-at-launch", type=int, default=None,
+                       help="permanent device failure at launch N")
+    chaos.add_argument("--max-retries", type=int, default=3)
+    chaos.add_argument("--stall", action="append", default=[],
+                       metavar="AT:DURATION[:DEVICE]",
+                       help="schedule a transient device stall "
+                            "(repeatable)")
+    chaos.add_argument("--fail", action="append", default=[],
+                       metavar="AT[:DEVICE]",
+                       help="schedule a permanent device failure "
+                            "(repeatable)")
+    chaos.add_argument("--model", default="OPT-13B")
+    chaos.add_argument("--requests", type=int, default=12)
+    chaos.add_argument("--devices", type=int, default=2)
+    chaos.add_argument("--memory-gb", type=float, default=27.0)
+    chaos.add_argument("--rate", type=float, default=2.0,
+                       help="Poisson arrival rate in req/s")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     sub.add_parser("isa", help="accelerator ISA reference").set_defaults(
         func=_cmd_isa)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.faults.context import get_faults
 from repro.obs.context import get_metrics
 from repro.units import Gbps, NANOSECOND
 
@@ -85,6 +86,12 @@ class CXLLink:
         stream at effective bandwidth; non-pipelined (dependent loads) pay
         the round-trip per cacheline, which is why host software avoids
         pointer-chasing into CXL memory.
+
+        When a fault plan with link errors is active (``repro.faults``),
+        each flit may suffer a CRC error and pay link-layer replay
+        latency with exponential backoff; the penalty is added to the
+        returned time and counted in the metrics registry.  With no
+        plan (or an empty one) this path is untouched.
         """
         if num_bytes < 0:
             raise ConfigurationError("cannot transfer negative bytes")
@@ -100,12 +107,23 @@ class CXLLink:
                               + FLIT_PAYLOAD_BYTES
                               / self.effective_bandwidth)
         metrics = get_metrics()
+        faults = get_faults()
+        crc_errors = replays = 0
+        replay_s = 0.0
+        if faults is not None:
+            replay_s, crc_errors, replays = faults.link_transfer(
+                self.num_flits(int(num_bytes)))
+            time_s += replay_s
         if metrics.enabled:
             mode = "pipelined" if pipelined else "per-line"
             metrics.histogram("cxl.link.transfer_s",
                               mode=mode).observe(time_s)
             metrics.counter("cxl.link.bytes", mode=mode).inc(num_bytes)
             metrics.counter("cxl.link.transfers", mode=mode).inc()
+            if crc_errors:
+                metrics.counter("cxl.link.crc_errors").inc(crc_errors)
+                metrics.counter("cxl.link.replays").inc(replays)
+                metrics.histogram("cxl.link.replay_s").observe(replay_s)
         return time_s
 
 

@@ -44,9 +44,44 @@ class ExecutionError(ReproError):
     """The functional executor hit an invalid runtime state."""
 
 
+class UncorrectableMemoryError(ExecutionError):
+    """An ECC-protected read hit a double-bit (uncorrectable) error.
+
+    The machine-check the host would see: SECDED detects the corruption
+    but cannot repair it, so the read — and the generation in flight —
+    fails rather than returning silently wrong data.
+    """
+
+
 class DriverError(ReproError):
     """The simulated device driver was used incorrectly (bad register,
     unprogrammed instruction buffer, completion queried before launch)."""
+
+
+class TransientDeviceError(ReproError):
+    """A device launch failed recoverably (modeled stall or timeout).
+
+    The runtime retries these with bounded backoff; repeated transients
+    escalate to :class:`DeviceLostError`.
+    """
+
+
+class DeviceLostError(ReproError):
+    """A device failed permanently (or exhausted its transient retries).
+
+    The serving layer responds by failing the device over: its in-flight
+    requests are requeued onto the surviving capacity.
+    """
+
+
+class AdmissionError(ReproError):
+    """A request was turned away at admission control.
+
+    Carries the reason a request can never be served (position budget,
+    KV footprint, or capacity lost to a device failure); schedulers
+    record these on :class:`~repro.appliance.scheduler.RejectedRequest`
+    instead of fabricating a service latency.
+    """
 
 
 class ParallelismError(ReproError):
@@ -55,3 +90,28 @@ class ParallelismError(ReproError):
 
 class SimulationError(ReproError):
     """The timing simulator reached an inconsistent schedule."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was configured inconsistently."""
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "FormFactorError",
+    "AddressError",
+    "AllocationError",
+    "ProtocolError",
+    "IsaError",
+    "ExecutionError",
+    "UncorrectableMemoryError",
+    "DriverError",
+    "TransientDeviceError",
+    "DeviceLostError",
+    "AdmissionError",
+    "ParallelismError",
+    "SimulationError",
+    "FaultInjectionError",
+]

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig04_gpu_utilization,
     fig10_single_device,
     fig11_appliance,
+    reliability,
     scalability,
     sensitivity,
     service_level,
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "sensitivity": sensitivity.run,
     "service": service_level.run,
     "continuous-batching": continuous_batching.run,
+    "reliability": reliability.run,
 }
 
 

@@ -1,0 +1,57 @@
+"""Fault injection and graceful degradation (paper §IX, functionally.)
+
+The paper argues LPDDR5X-based CXL-PNM is datacenter-ready because of
+its RAS behaviour: inline ECC corrects single-bit upsets, ECS scrubbing
+stops them pairing into uncorrectable errors, and the CXL link layer
+replays CRC-errored flits from its retry buffer.  ``repro.faults``
+turns that argument into a runnable subsystem: a deterministic, seeded
+:class:`FaultPlan` drives injectors at three layers of the stack —
+
+* **CXL link** (:meth:`repro.cxl.link.CXLLink.transfer_time`): flit CRC
+  errors pay modeled replay latency with exponential backoff;
+* **device memory** (:class:`repro.memory.reliable.ReliableRegion` via
+  the session's guard region): single-bit upsets correct transparently
+  through SECDED, double-bit upsets abort the generation with
+  :class:`~repro.errors.UncorrectableMemoryError`;
+* **device/appliance** (driver launches and the continuous-batching
+  scheduler): transient faults are retried with bounded backoff,
+  permanent device failures trigger requeue-and-failover.
+
+Everything is off by default: with no plan installed (or an empty one)
+every hook short-circuits and results are bit-identical to a build
+without the subsystem.  Enable per run with::
+
+    with repro.faults.chaos(plan) as state:
+        ...
+    state.counters.as_dict()
+
+or from the CLI: ``python -m repro chaos``.  The end-to-end harness
+lives in :mod:`repro.faults.chaos_harness` (imported lazily to keep
+this package importable from the low-level layers it hooks).
+"""
+
+from repro.faults.context import chaos, get_faults
+from repro.faults.injectors import FaultCounters, FaultState
+from repro.faults.plan import (
+    DeviceFaultEvent,
+    DeviceFaultKind,
+    FaultPlan,
+    LaunchFaultModel,
+    LinkFaultModel,
+    MemoryFaultModel,
+    paper_section_ix_plan,
+)
+
+__all__ = [
+    "DeviceFaultEvent",
+    "DeviceFaultKind",
+    "FaultCounters",
+    "FaultPlan",
+    "FaultState",
+    "LaunchFaultModel",
+    "LinkFaultModel",
+    "MemoryFaultModel",
+    "chaos",
+    "get_faults",
+    "paper_section_ix_plan",
+]

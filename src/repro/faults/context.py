@@ -1,0 +1,58 @@
+"""Ambient fault context: install a plan, every layer sees it.
+
+Mirrors :mod:`repro.obs.context`: fault hooks in the link, driver,
+session, and serving scheduler resolve the active
+:class:`~repro.faults.injectors.FaultState` through :func:`get_faults`,
+which returns ``None`` unless a :func:`chaos` block (or an explicitly
+injected state) is active — so the no-faults path costs one contextvar
+read and is bit-identical to a build without the subsystem.
+
+Usage::
+
+    from repro.faults import FaultPlan, chaos
+
+    plan = FaultPlan(seed=7).with_link_errors(1e-3)
+    with chaos(plan) as state:
+        run_serving_workload()
+    print(state.counters.as_dict())
+
+An *empty* plan (``FaultPlan.empty()`` or a default-constructed one)
+installs a state whose hooks all short-circuit without consuming
+randomness; results are then bit-identical to not installing anything
+(asserted by ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.faults.injectors import FaultState
+from repro.faults.plan import FaultPlan
+
+_FAULTS: ContextVar[Optional[FaultState]] = ContextVar(
+    "repro_fault_state", default=None)
+
+
+def get_faults(injected: Optional[FaultState] = None
+               ) -> Optional[FaultState]:
+    """Resolve the active fault state: injected > ambient > ``None``."""
+    if injected is not None:
+        return injected
+    return _FAULTS.get()
+
+
+@contextlib.contextmanager
+def chaos(plan: FaultPlan) -> Iterator[FaultState]:
+    """Install ``plan`` as the ambient fault schedule for the block.
+
+    Yields the live :class:`FaultState` so the caller can read its
+    counters after (or during) the run.
+    """
+    state = FaultState(plan)
+    token = _FAULTS.set(state)
+    try:
+        yield state
+    finally:
+        _FAULTS.reset(token)

@@ -1,0 +1,245 @@
+"""Runtime fault state: seeded injectors and their counters.
+
+A :class:`FaultState` is the *live* half of a :class:`~repro.faults.
+plan.FaultPlan`: it owns one independent seeded RNG substream per fault
+layer (so the draw order of one layer never perturbs another), applies
+the plan when a hook asks, and accumulates a :class:`FaultCounters`
+record that the chaos report and the RAS experiment read back.
+
+Hooks are pull-based and pay nothing when their layer is disabled:
+
+* :meth:`FaultState.link_transfer` — called by
+  :meth:`repro.cxl.link.CXLLink.transfer_time` with the transfer's flit
+  count; returns the replay-latency penalty plus error/replay counts.
+* :meth:`FaultState.launch_fault` — called by
+  :meth:`repro.runtime.driver.CxlPnmDriver.launch`; returns ``None`` or
+  the exception to raise (transient or permanent).
+* :meth:`FaultState.memory_tick` — called by the session once per
+  executed stage against its SECDED guard region; injects upsets,
+  optionally scrubs, and reads the region back so corrections are
+  transparent and double-bit errors raise mid-generation.
+* :attr:`FaultState.device_events` — consumed by the continuous-batching
+  scheduler at iteration boundaries for stalls and failover.
+
+Every event is mirrored into the ambient obs metrics registry (when one
+is installed), so a chaos run's counters land next to the rest of the
+simulation's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    DeviceLostError,
+    TransientDeviceError,
+    UncorrectableMemoryError,
+)
+from repro.faults.plan import DeviceFaultEvent, FaultPlan
+from repro.obs.context import get_metrics
+from repro.units import NANOSECOND
+
+
+@dataclass
+class FaultCounters:
+    """Everything the injectors did, layer by layer."""
+
+    # CXL link
+    link_flits: int = 0
+    link_crc_errors: int = 0
+    link_replays: int = 0
+    link_replay_s: float = 0.0
+    # ECC-protected memory
+    mem_ticks: int = 0
+    mem_injected: int = 0
+    mem_corrected: int = 0
+    mem_uncorrectable: int = 0
+    mem_scrubs: int = 0
+    # accelerator launches
+    launches: int = 0
+    launch_transients: int = 0
+    launch_retries: int = 0
+    launch_failures: int = 0
+    # appliance devices (recorded by the serving scheduler)
+    device_stalls: int = 0
+    device_stall_s: float = 0.0
+    device_failures: int = 0
+    requests_requeued: int = 0
+    failover_latency_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat JSON-ready view (field order preserved)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultState:
+    """Live injector bundle for one :class:`FaultPlan`.
+
+    Attributes:
+        plan: The immutable schedule being applied.
+        counters: Cumulative injection/recovery counts.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counters = FaultCounters()
+        # Independent substreams per layer: interleaving calls across
+        # layers cannot change any single layer's draw sequence.
+        self._rng_link = np.random.default_rng([plan.seed, 0xC2C])
+        self._rng_mem = np.random.default_rng([plan.seed, 0xECC])
+        self._rng_launch = np.random.default_rng([plan.seed, 0xDE7])
+
+    # -- CXL link ------------------------------------------------------------
+
+    def link_transfer(self, flits: int) -> Tuple[float, int, int]:
+        """Draw CRC errors for a ``flits``-flit transfer.
+
+        Returns ``(penalty_s, crc_errors, replays)``: the link-layer
+        replay latency to add to the transfer time, and the counts the
+        caller should mirror into its own stats.
+        """
+        model = self.plan.link
+        if not model.enabled or flits <= 0:
+            return 0.0, 0, 0
+        self.counters.link_flits += flits
+        errors = int(self._rng_link.binomial(flits, model.crc_error_rate))
+        if errors == 0:
+            return 0.0, 0, 0
+        penalty_s = 0.0
+        replays = 0
+        for _ in range(errors):
+            # Replay with exponential backoff until the flit gets
+            # through (or the attempt budget is spent).
+            for attempt in range(model.max_replays):
+                replays += 1
+                penalty_s += model.replay_ns * (2 ** attempt) * NANOSECOND
+                if self._rng_link.random() >= model.crc_error_rate:
+                    break
+        self.counters.link_crc_errors += errors
+        self.counters.link_replays += replays
+        self.counters.link_replay_s += penalty_s
+        return penalty_s, errors, replays
+
+    # -- accelerator launches ------------------------------------------------
+
+    def launch_fault(self) -> Optional[Exception]:
+        """The fault (if any) afflicting the next accelerator launch.
+
+        Returns ``None`` (launch proceeds), a
+        :class:`~repro.errors.TransientDeviceError` (recoverable — the
+        session retries with backoff), or a
+        :class:`~repro.errors.DeviceLostError` (permanent).
+        """
+        model = self.plan.launch
+        if not model.enabled:
+            return None
+        self.counters.launches += 1
+        if model.fail_at_launch is not None \
+                and self.counters.launches == model.fail_at_launch:
+            self.counters.launch_failures += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("faults.launch.failures").inc()
+            return DeviceLostError(
+                f"permanent device failure at launch "
+                f"{self.counters.launches}")
+        if model.transient_rate > 0 \
+                and self._rng_launch.random() < model.transient_rate:
+            self.counters.launch_transients += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("faults.launch.transients").inc()
+            return TransientDeviceError(
+                f"transient launch fault at launch "
+                f"{self.counters.launches}")
+        return None
+
+    def note_launch_retry(self) -> None:
+        """Record one bounded-backoff retry by the runtime."""
+        self.counters.launch_retries += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("faults.launch.retries").inc()
+
+    # -- ECC-protected memory ------------------------------------------------
+
+    def memory_tick(self, region) -> None:
+        """One fault tick against a SECDED-protected guard ``region``.
+
+        Injects the plan's upsets, runs a periodic ECS scrub, then
+        reads the whole region back through the decoder: single-bit
+        upsets correct transparently (counted), a double-bit upset
+        raises :class:`~repro.errors.UncorrectableMemoryError` — the
+        machine-check that aborts the generation in flight.
+        """
+        model = self.plan.memory
+        if not model.enabled:
+            return
+        self.counters.mem_ticks += 1
+        tick = self.counters.mem_ticks
+        corrected_base = region.corrected_total
+        injected = 0
+        if model.upsets_per_tick > 0:
+            injected = int(self._rng_mem.poisson(model.upsets_per_tick))
+            if injected:
+                region.inject_faults(injected, rng=self._rng_mem)
+        if model.double_bit_at_tick == tick:
+            region.inject_double_bit(0)
+            injected += 2
+        self.counters.mem_injected += injected
+        if model.scrub_every_ticks \
+                and tick % model.scrub_every_ticks == 0:
+            region.scrub()
+            self.counters.mem_scrubs += 1
+        metrics = get_metrics()
+        try:
+            region.read_array(region.data_words)
+        except UncorrectableMemoryError:
+            self.counters.mem_uncorrectable += 1
+            self.counters.mem_corrected += \
+                region.corrected_total - corrected_base
+            if metrics.enabled:
+                metrics.counter("faults.mem.uncorrectable").inc()
+            raise
+        finally:
+            if metrics.enabled and injected:
+                metrics.counter("faults.mem.injected").inc(injected)
+        corrected = region.corrected_total - corrected_base
+        self.counters.mem_corrected += corrected
+        if metrics.enabled and corrected:
+            metrics.counter("faults.mem.corrected").inc(corrected)
+
+    # -- appliance devices ---------------------------------------------------
+
+    @property
+    def device_events(self) -> Tuple[DeviceFaultEvent, ...]:
+        """The plan's scheduled stalls/failures, sorted by time."""
+        return self.plan.device_events
+
+    def note_stall(self, duration_s: float) -> None:
+        """Record one device stall absorbed by the serving layer."""
+        self.counters.device_stalls += 1
+        self.counters.device_stall_s += duration_s
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("faults.device.stalls").inc()
+
+    def note_device_failure(self, requeued: int) -> None:
+        """Record one permanent device failure and its requeued load."""
+        self.counters.device_failures += 1
+        self.counters.requests_requeued += requeued
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("faults.device.failures").inc()
+            metrics.counter("faults.device.requeued").inc(requeued)
+
+    def note_failover_latency(self, latency_s: float) -> None:
+        """Record one requeued request's failure-to-readmission gap."""
+        self.counters.failover_latency_s += latency_s
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.histogram("faults.device.failover_s").observe(
+                latency_s)

@@ -1,0 +1,274 @@
+"""Fault plans: what to break, where, and when (paper §IX).
+
+A :class:`FaultPlan` is a *declarative, seeded* description of the
+faults to inject into a run — it owns no mutable state, so the same
+plan replayed against the same workload produces the same fault
+sequence, counts, and failover timeline.  Plans compose three layers:
+
+* :class:`LinkFaultModel` — flit CRC errors on the CXL link, paid as
+  link-layer replay latency with exponential backoff (the CXL
+  retry-buffer behaviour the paper leans on for RAS);
+* :class:`MemoryFaultModel` — bit upsets in an ECC-protected device
+  region, routed through the SECDED(72,64) codec so single-bit errors
+  correct transparently and double-bit errors surface as
+  :class:`~repro.errors.UncorrectableMemoryError`;
+* :class:`LaunchFaultModel` and :class:`DeviceFaultEvent` — transient
+  launch failures (retried by the runtime) and scheduled device
+  stalls/permanent failures (survived by the serving layer's failover).
+
+Everything defaults to *off*: :meth:`FaultPlan.is_empty` is true for a
+default-constructed plan, and an empty plan consumes no randomness, so
+results are bit-identical to running with no plan at all (asserted by
+``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import FaultInjectionError
+
+
+class DeviceFaultKind(enum.Enum):
+    """Scheduled appliance-level fault varieties."""
+
+    STALL = "stall"      # transient: the device pauses, then resumes
+    FAIL = "fail"        # permanent: capacity is lost for the run
+
+
+@dataclass(frozen=True)
+class DeviceFaultEvent:
+    """One scheduled device fault in a serving run.
+
+    Attributes:
+        kind: Stall (transient) or fail (permanent).
+        at_s: Simulated time at which the fault strikes; it takes
+            effect at the first iteration boundary at or after this.
+        device: Index of the afflicted device (serving-layer DP index).
+        duration_s: Stall length; ignored for permanent failures.
+    """
+
+    kind: DeviceFaultKind
+    at_s: float
+    device: int = 0
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise FaultInjectionError("fault time cannot be negative")
+        if self.device < 0:
+            raise FaultInjectionError("device index cannot be negative")
+        if self.kind is DeviceFaultKind.STALL and self.duration_s <= 0:
+            raise FaultInjectionError("a stall needs a positive duration")
+
+
+@dataclass(frozen=True)
+class LinkFaultModel:
+    """Flit CRC errors and the link-layer retry they trigger.
+
+    Each flit of a transfer independently suffers a CRC error with
+    probability ``crc_error_rate``.  An errored flit is replayed from
+    the retry buffer: replay attempt ``k`` costs
+    ``replay_ns * 2**k`` (exponential backoff), and each replay fails
+    again with the same probability up to ``max_replays`` attempts —
+    after which the flit is counted as delivered anyway (real links
+    would retrain; we only model the latency tax and the counters).
+    """
+
+    crc_error_rate: float = 0.0
+    replay_ns: float = 80.0
+    max_replays: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crc_error_rate < 1.0:
+            raise FaultInjectionError(
+                f"crc_error_rate {self.crc_error_rate} outside [0, 1)")
+        if self.replay_ns < 0:
+            raise FaultInjectionError("replay latency cannot be negative")
+        if self.max_replays < 1:
+            raise FaultInjectionError("need at least one replay attempt")
+
+    @property
+    def enabled(self) -> bool:
+        return self.crc_error_rate > 0.0
+
+
+@dataclass(frozen=True)
+class MemoryFaultModel:
+    """Bit upsets against an ECC-protected guard region.
+
+    ``upsets_per_tick`` single-bit flips land on each fault tick (one
+    tick per executed stage in a session).  ``double_bit_at_tick``
+    forces two flips into one codeword at that tick, producing the
+    uncorrectable error the §IX scrub-interval math bounds.  When
+    ``scrub_every_ticks`` is set, the guard region runs an ECS pass at
+    that period, repairing accumulated single-bit upsets before a
+    second flip can pair with them.
+    """
+
+    upsets_per_tick: float = 0.0
+    double_bit_at_tick: Optional[int] = None
+    scrub_every_ticks: Optional[int] = None
+    guard_words: int = 64
+
+    def __post_init__(self) -> None:
+        if self.upsets_per_tick < 0:
+            raise FaultInjectionError("upset rate cannot be negative")
+        if self.double_bit_at_tick is not None \
+                and self.double_bit_at_tick < 1:
+            raise FaultInjectionError("double-bit tick must be >= 1")
+        if self.scrub_every_ticks is not None \
+                and self.scrub_every_ticks < 1:
+            raise FaultInjectionError("scrub period must be >= 1")
+        if self.guard_words < 1:
+            raise FaultInjectionError("guard region needs >= 1 word")
+
+    @property
+    def enabled(self) -> bool:
+        return self.upsets_per_tick > 0 \
+            or self.double_bit_at_tick is not None
+
+
+@dataclass(frozen=True)
+class LaunchFaultModel:
+    """Transient and permanent faults at accelerator-launch granularity.
+
+    Each launch fails transiently with probability ``transient_rate``
+    (raising :class:`~repro.errors.TransientDeviceError`, which the
+    session retries with bounded exponential backoff);
+    ``fail_at_launch`` makes launch number N (1-indexed, counted across
+    the device's lifetime) fail permanently with
+    :class:`~repro.errors.DeviceLostError`.
+    """
+
+    transient_rate: float = 0.0
+    fail_at_launch: Optional[int] = None
+    max_retries: int = 3
+    retry_backoff_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transient_rate < 1.0:
+            raise FaultInjectionError(
+                f"transient_rate {self.transient_rate} outside [0, 1)")
+        if self.fail_at_launch is not None and self.fail_at_launch < 1:
+            raise FaultInjectionError("fail_at_launch must be >= 1")
+        if self.max_retries < 0:
+            raise FaultInjectionError("max_retries cannot be negative")
+        if self.retry_backoff_s < 0:
+            raise FaultInjectionError("backoff cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.transient_rate > 0.0 or self.fail_at_launch is not None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded fault schedule for one run.
+
+    Attributes:
+        seed: Root seed; each layer derives an independent substream,
+            so injection order across layers never perturbs another
+            layer's draws.
+        link: CXL-link flit CRC fault model.
+        memory: ECC-protected memory upset model.
+        launch: Accelerator launch fault model.
+        device_events: Scheduled appliance-level stalls and failures.
+    """
+
+    seed: int = 0
+    link: LinkFaultModel = field(default_factory=LinkFaultModel)
+    memory: MemoryFaultModel = field(default_factory=MemoryFaultModel)
+    launch: LaunchFaultModel = field(default_factory=LaunchFaultModel)
+    device_events: Tuple[DeviceFaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalise (and validate) the schedule once, at build time.
+        events = tuple(sorted(self.device_events, key=lambda e: e.at_s))
+        object.__setattr__(self, "device_events", events)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when this plan injects nothing anywhere."""
+        return not (self.link.enabled or self.memory.enabled
+                    or self.launch.enabled or self.device_events)
+
+    # -- fluent builders -----------------------------------------------------
+
+    def with_link_errors(self, crc_error_rate: float,
+                         replay_ns: float = 80.0,
+                         max_replays: int = 8) -> "FaultPlan":
+        """A copy of this plan with flit CRC errors enabled."""
+        return FaultPlan(seed=self.seed,
+                         link=LinkFaultModel(crc_error_rate, replay_ns,
+                                             max_replays),
+                         memory=self.memory, launch=self.launch,
+                         device_events=self.device_events)
+
+    def with_memory_upsets(self, upsets_per_tick: float,
+                           double_bit_at_tick: Optional[int] = None,
+                           scrub_every_ticks: Optional[int] = None,
+                           guard_words: int = 64) -> "FaultPlan":
+        """A copy with single/double-bit upsets against the guard region."""
+        return FaultPlan(seed=self.seed, link=self.link,
+                         memory=MemoryFaultModel(upsets_per_tick,
+                                                 double_bit_at_tick,
+                                                 scrub_every_ticks,
+                                                 guard_words),
+                         launch=self.launch,
+                         device_events=self.device_events)
+
+    def with_launch_faults(self, transient_rate: float = 0.0,
+                           fail_at_launch: Optional[int] = None,
+                           max_retries: int = 3,
+                           retry_backoff_s: float = 1e-6) -> "FaultPlan":
+        """A copy with transient/permanent launch faults enabled."""
+        return FaultPlan(seed=self.seed, link=self.link,
+                         memory=self.memory,
+                         launch=LaunchFaultModel(transient_rate,
+                                                 fail_at_launch,
+                                                 max_retries,
+                                                 retry_backoff_s),
+                         device_events=self.device_events)
+
+    def with_device_stall(self, at_s: float, duration_s: float,
+                          device: int = 0) -> "FaultPlan":
+        """A copy with one scheduled transient device stall appended."""
+        event = DeviceFaultEvent(DeviceFaultKind.STALL, at_s=at_s,
+                                 device=device, duration_s=duration_s)
+        return FaultPlan(seed=self.seed, link=self.link,
+                         memory=self.memory, launch=self.launch,
+                         device_events=self.device_events + (event,))
+
+    def with_device_failure(self, at_s: float,
+                            device: int = 0) -> "FaultPlan":
+        """A copy with one scheduled permanent device failure appended."""
+        event = DeviceFaultEvent(DeviceFaultKind.FAIL, at_s=at_s,
+                                 device=device)
+        return FaultPlan(seed=self.seed, link=self.link,
+                         memory=self.memory, launch=self.launch,
+                         device_events=self.device_events + (event,))
+
+    @staticmethod
+    def empty(seed: int = 0) -> "FaultPlan":
+        """An explicit no-fault plan (bit-identical to no plan at all)."""
+        return FaultPlan(seed=seed)
+
+
+def paper_section_ix_plan(seed: int = 0) -> FaultPlan:
+    """The default chaos schedule: every §IX mechanism exercised once.
+
+    A low flit CRC rate (link retry), a steady single-bit upset drizzle
+    with periodic scrubbing (inline ECC + ECS), an occasional transient
+    launch fault (driver retry), and one mid-run device failure
+    (serving-layer failover).
+    """
+    return (FaultPlan(seed=seed)
+            .with_link_errors(crc_error_rate=2e-3)
+            .with_memory_upsets(upsets_per_tick=0.25,
+                                scrub_every_ticks=8)
+            .with_launch_faults(transient_rate=0.05, max_retries=3)
+            .with_device_stall(at_s=3.0, duration_s=0.5, device=0)
+            .with_device_failure(at_s=10.0, device=1))

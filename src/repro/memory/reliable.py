@@ -22,7 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.accelerator.memory import DeviceMemory, Region
-from repro.errors import ConfigurationError, ExecutionError
+from repro.errors import ConfigurationError, UncorrectableMemoryError
 from repro.memory.ecc import (
     CODEWORD_BITS,
     DecodeStatus,
@@ -92,12 +92,13 @@ class ReliableRegion:
     def read_word(self, index: int) -> int:
         """Load, decode, and (transparently) correct one word.
 
-        Raises :class:`ExecutionError` on an uncorrectable (2-bit) error —
-        the machine-check the host would see.
+        Raises :class:`UncorrectableMemoryError` (a subclass of
+        :class:`~repro.errors.ExecutionError`) on an uncorrectable
+        (2-bit) error — the machine-check the host would see.
         """
         result = decode(self._load_code(index))
         if result.status is DecodeStatus.DETECTED:
-            raise ExecutionError(
+            raise UncorrectableMemoryError(
                 f"uncorrectable memory error at protected word {index}")
         if result.status is DecodeStatus.CORRECTED:
             self.corrected_total += 1
@@ -132,6 +133,19 @@ class ReliableRegion:
             self._store_code(index, code)
             affected.append(index)
         return affected
+
+    def inject_double_bit(self, index: int = 0) -> None:
+        """Flip two data bits of one codeword — an uncorrectable error.
+
+        Bit positions 2 and 4 are data bits in the Hamming layout (the
+        0-indexed parity positions are 0, 1, 3, 7, 15, 31, 63, and 71),
+        so the next read of ``index`` raises
+        :class:`UncorrectableMemoryError`.
+        """
+        code = self._load_code(index)
+        code[2] ^= 1
+        code[4] ^= 1
+        self._store_code(index, code)
 
     def scrub(self) -> ScrubReport:
         """ECS pass: read every word, rewrite corrected codewords.

@@ -26,6 +26,7 @@ from repro.accelerator.control import ControlRegister, ControlUnit, Status
 from repro.accelerator.engine import ExecutionStats, Executor
 from repro.accelerator.memory import DeviceMemory
 from repro.errors import DriverError
+from repro.faults.context import get_faults
 from repro.obs.context import get_metrics, get_tracer
 
 
@@ -101,12 +102,27 @@ class CxlPnmDriver:
         The functional model executes synchronously; completion is then
         signalled by interrupt or left for :meth:`poll` depending on the
         configured mode.
+
+        When a fault plan with launch faults is active, a launch may
+        fail *before* executing anything: transiently (a
+        :class:`~repro.errors.TransientDeviceError` the session retries
+        with bounded backoff) or permanently
+        (:class:`~repro.errors.DeviceLostError`).  Either way the
+        STATUS register reads ERROR, exactly as the except path below
+        leaves it, so a retry is a plain re-launch.
         """
         if self.control.status is Status.RUNNING:
             raise DriverError("accelerator already running")
         code = self.control.instruction_buffer
         tracer = get_tracer(self._tracer)
         metrics = get_metrics(self._metrics)
+        faults = get_faults()
+        if faults is not None:
+            fault = faults.launch_fault()
+            if fault is not None:
+                self.control.set_status(Status.ERROR)
+                metrics.counter("driver.errors").inc()
+                raise fault
         self.control.set_status(Status.RUNNING)
         with tracer.span("driver.launch", category="runtime",
                          instructions=len(code),

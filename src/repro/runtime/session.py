@@ -14,12 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.accelerator.compiler import (ModelLayout, ProgramCache,
                                         StageCompiler, load_model)
 from repro.accelerator.device import CXLPNMDevice
 from repro.accelerator.memory import DeviceMemory
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import (CapacityError, ConfigurationError,
+                          DeviceLostError, TransientDeviceError)
+from repro.faults.context import get_faults
 from repro.llm.reference import ModelWeights
+from repro.memory.reliable import ReliableRegion
 from repro.obs.context import get_metrics, get_tracer
 from repro.perf.simulator import AcceleratorSimulator
 from repro.runtime.driver import CompletionMode, CxlPnmDriver
@@ -104,6 +109,19 @@ class InferenceSession:
         self._context_len = 0
         self._interrupts_seen = 0
         self.driver.interrupts.register_isr(self._on_interrupt)
+        # Fault-injection hookup (repro.faults): when an ambient plan
+        # with memory faults is active at construction time, a small
+        # SECDED guard region is carved out of device memory and ticked
+        # after every stage — single-bit upsets correct transparently,
+        # double-bit upsets abort the generation.  With no plan, the
+        # session carries a None and pays nothing.
+        self._faults = get_faults()
+        self._guard = None
+        if self._faults is not None and self._faults.plan.memory.enabled:
+            words = self._faults.plan.memory.guard_words
+            self._guard = ReliableRegion(self.memory, "ras.guard", words)
+            self._guard.write_array(
+                np.arange(words, dtype=np.uint64) * 0x9E37_79B9)
 
     def _on_interrupt(self) -> None:
         self._interrupts_seen += 1
@@ -132,12 +150,12 @@ class InferenceSession:
         with tracer.span(f"session.{stage}", category="runtime",
                          instructions=len(code)) as span:
             self.driver.program(code)
+            self._launch_with_retry(metrics)
             if self.driver.completion_mode is CompletionMode.POLLING:
-                self.driver.launch()
                 self.driver.wait()
-            else:
-                self.driver.launch()
             self.driver.acknowledge()
+            if self._guard is not None:
+                self._faults.memory_tick(self._guard)
             trace.instructions += len(code)
             if self.simulator is not None:
                 stage_time = self.simulator.run(
@@ -158,6 +176,37 @@ class InferenceSession:
             metrics.counter("session.stages", stage=stage).inc()
             metrics.counter("session.tokens").inc()
         return token
+
+    def _launch_with_retry(self, metrics) -> None:
+        """Launch, retrying recoverable device faults (paper §IX).
+
+        A :class:`~repro.errors.TransientDeviceError` from the driver is
+        retried up to the plan's ``max_retries`` with exponential
+        backoff charged to the simulated clock; exhausting the budget
+        escalates to :class:`~repro.errors.DeviceLostError`.  Permanent
+        failures propagate immediately.  With no fault plan active the
+        driver cannot raise either error, so this is a plain launch.
+        """
+        if self._faults is None:
+            self.driver.launch()
+            return
+        launch = self._faults.plan.launch
+        attempts = 0
+        while True:
+            try:
+                self.driver.launch()
+                return
+            except TransientDeviceError:
+                attempts += 1
+                if attempts > launch.max_retries:
+                    raise DeviceLostError(
+                        f"device unresponsive after {attempts} transient "
+                        f"launch failures") from None
+                self._faults.note_launch_retry()
+                if metrics.enabled:
+                    metrics.counter("session.launch_retries").inc()
+                self._sim_clock_s += (launch.retry_backoff_s
+                                      * 2 ** (attempts - 1))
 
     def _trace_host_readback(self, tracer, metrics) -> None:
         """Account the host's CXL.mem read of the output token.

@@ -1,0 +1,88 @@
+"""Docs CI job: module docstrings and the API.md ↔ source bijection."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+_spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def _mini_repo(tmp_path, api_text, modules):
+    """Lay out a miniature repo: {dotted-suffix: source} under src/repro."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "API.md").write_text(api_text)
+    for rel, source in modules.items():
+        path = tmp_path / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+class TestRealTree:
+    def test_repo_passes(self):
+        assert check_docs.run_checks(REPO_ROOT) == []
+
+    def test_cli_exit_code(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--root", str(REPO_ROOT)],
+            capture_output=True, text=True)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "docs check OK" in result.stdout
+
+    def test_every_module_is_enumerated(self):
+        modules = check_docs.source_modules(REPO_ROOT)
+        # Spot-check the corners of the mapping rule: the root package,
+        # dunder modules, and deep leaves all participate.
+        for dotted in ("repro", "repro.__main__", "repro.faults",
+                       "repro.faults.chaos_harness", "repro.memory.ecc"):
+            assert dotted in modules, dotted
+
+
+class TestFailureModes:
+    API_OK = "`repro`\n`repro.good`\n"
+
+    def test_missing_docstring_reported(self, tmp_path):
+        root = _mini_repo(tmp_path, self.API_OK, {
+            "__init__.py": '"""Root."""\n',
+            "good.py": "x = 1\n"})
+        problems = check_docs.run_checks(root)
+        assert any("missing module docstring: repro.good" in p
+                   for p in problems)
+
+    def test_undocumented_module_reported(self, tmp_path):
+        root = _mini_repo(tmp_path, "`repro`\n", {
+            "__init__.py": '"""Root."""\n',
+            "good.py": '"""Fine."""\n'})
+        problems = check_docs.run_checks(root)
+        assert any("not documented" in p and "repro.good" in p
+                   for p in problems)
+
+    def test_stale_doc_name_reported(self, tmp_path):
+        root = _mini_repo(
+            tmp_path, self.API_OK + "`repro.ghost`\n", {
+                "__init__.py": '"""Root."""\n',
+                "good.py": '"""Fine."""\n'})
+        problems = check_docs.run_checks(root)
+        assert any("stale name" in p and "repro.ghost" in p
+                   for p in problems)
+
+    def test_class_references_are_not_module_tokens(self, tmp_path):
+        # `repro.good.ClassName` (capitalized segment) and prose in
+        # backticks must not count as module mentions.
+        api = self.API_OK + "`repro.good.CXLLink` `python -m repro run`\n"
+        root = _mini_repo(tmp_path, api, {
+            "__init__.py": '"""Root."""\n',
+            "good.py": '"""Fine."""\n'})
+        assert check_docs.run_checks(root) == []
+
+    def test_clean_mini_repo_passes(self, tmp_path):
+        root = _mini_repo(tmp_path, self.API_OK, {
+            "__init__.py": '"""Root."""\n',
+            "good.py": '"""Fine."""\n'})
+        assert check_docs.run_checks(root) == []

@@ -14,7 +14,7 @@ class TestRegistry:
             "fig2", "fig3", "fig4", "table1", "table2", "fig10", "fig11",
             "table3", "scalability", "validation", "ablations",
             "disadvantages", "sensitivity", "service",
-            "continuous-batching"}
+            "continuous-batching", "reliability"}
 
     def test_unknown_experiment(self):
         with pytest.raises(ConfigurationError):

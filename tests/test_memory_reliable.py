@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accelerator import DeviceMemory
-from repro.errors import ConfigurationError, ExecutionError
+from repro.errors import (ConfigurationError, ExecutionError,
+                          UncorrectableMemoryError)
 from repro.memory.reliable import ReliableRegion
 from repro.units import MiB
 
@@ -103,3 +104,74 @@ class TestScrub:
         report = region.scrub()
         assert report.corrected == 1
         assert region.read_word(0) == word
+
+
+class TestEdgePaths:
+    def test_scrub_racing_double_bit_counts_without_raising(self, region):
+        """A scrub that arrives *after* the second flip logs the word as
+        uncorrectable and keeps walking — it never repairs it, so the
+        next demand read still machine-checks."""
+        region.write_array(np.arange(64, dtype=np.uint64))
+        region.inject_double_bit(20)
+        report = region.scrub()
+        assert report.uncorrectable == 1
+        assert report.corrected == 0
+        # Scrubbing did not mask the error: the read still raises, and
+        # a second scrub still sees the same stuck word.
+        with pytest.raises(UncorrectableMemoryError):
+            region.read_word(20)
+        assert region.scrub().uncorrectable == 1
+        # Every other word is untouched.
+        for index in (0, 19, 21, 63):
+            assert region.read_word(index) == index
+
+    def test_parity_bit_fault_corrected_like_data_bit(self, region):
+        """SECDED covers its own parity: flipping a stored parity bit
+        (Hamming positions 0, 1, 3, 7, ... plus overall 71) corrects on
+        read exactly like a data-bit flip, without altering the word."""
+        region.write_word(9, 0xAAAA_5555_0F0F_F0F0)
+        for parity_bit in (0, 1, 3, 7, 15, 31, 63, 71):
+            code = region._load_code(9)
+            code[parity_bit] ^= 1
+            region._store_code(9, code)
+            assert region.read_word(9) == 0xAAAA_5555_0F0F_F0F0
+            region.scrub()  # repair before the next injected flip
+        # Data-bit flip for comparison: positions 2 and 4 carry data.
+        code = region._load_code(9)
+        code[2] ^= 1
+        region._store_code(9, code)
+        assert region.read_word(9) == 0xAAAA_5555_0F0F_F0F0
+
+    def test_inject_double_bit_targets_data_bits(self, region):
+        region.write_word(0, 7)
+        region.inject_double_bit(0)
+        result = None
+        with pytest.raises(UncorrectableMemoryError) as excinfo:
+            result = region.read_word(0)
+        assert result is None
+        assert "word 0" in str(excinfo.value)
+        assert isinstance(excinfo.value, ExecutionError)
+
+    def test_scrub_report_accounting_matches_corrected_total(self, region):
+        """corrected_total accumulates demand-read corrections AND scrub
+        repairs; the scrub report itemizes one pass exactly."""
+        region.write_array(np.arange(64, dtype=np.uint64))
+        # One single-bit flip in each of three distinct words, plus one
+        # double-bit word.
+        for index, bit in ((2, 10), (30, 40), (50, 70)):
+            code = region._load_code(index)
+            code[bit] ^= 1
+            region._store_code(index, code)
+        region.inject_double_bit(40)
+        before = region.corrected_total
+        report = region.scrub()
+        assert report.words_scanned == 64
+        assert report.corrected == 3
+        assert report.uncorrectable == 1
+        assert region.corrected_total == before + 3
+        # The scrubbed words are clean: a follow-up pass finds nothing
+        # new to repair, and demand reads of them correct nothing.
+        assert region.scrub().corrected == 0
+        for index in (2, 30, 50):
+            assert region.read_word(index) == index
+        assert region.corrected_total == before + 3

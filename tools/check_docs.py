@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Documentation consistency checker (run by the CI ``docs`` job).
+
+Two invariants, both cheap and both load-bearing:
+
+1. **Every module has a docstring.**  Each ``*.py`` file under
+   ``src/repro/`` must open with a non-empty module docstring — the
+   one-line summaries are what ``docs/API.md`` and new readers lean on.
+2. **``docs/API.md`` ↔ source bijection.**  The set of backticked
+   dotted module names in ``docs/API.md`` (tokens like
+   ``repro.memory.ecc``) must equal the set of modules that actually
+   exist.  A module missing from the doc is *undocumented*; a doc name
+   with no module behind it is *stale*.
+
+The doc-side convention that makes the bijection checkable: module
+names appear in API.md as whole backticked lowercase dotted paths
+(`` `repro.cxl.link` ``); classes and functions are written bare
+(``CXLLink``) or with call parens, never as backticked dotted paths,
+so they are invisible to the extractor.
+
+Usage::
+
+    python tools/check_docs.py [--root REPO_ROOT]
+
+Exits 0 when both invariants hold, 1 with an itemized report when not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+#: Whole-token backticked lowercase dotted path rooted at ``repro``.
+#: ``[a-z_]`` (not ``[a-z]``) so ``repro.__main__`` counts as a module
+#: segment; a capitalized segment (a class) fails the full match and is
+#: therefore ignored, by design.
+_MODULE_TOKEN = re.compile(r"`(repro(?:\.[a-z_][a-z0-9_]*)*)`")
+
+API_DOC = Path("docs") / "API.md"
+SRC_ROOT = Path("src") / "repro"
+
+
+def source_modules(root: Path) -> Dict[str, Path]:
+    """Map dotted module name -> file for every module under src/repro.
+
+    ``__init__.py`` files map to their package's dotted name, so
+    packages participate in the bijection like any other module.
+    """
+    modules: Dict[str, Path] = {}
+    src = root / SRC_ROOT
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(root / "src")
+        dotted = ".".join(rel.with_suffix("").parts)
+        if dotted.endswith(".__init__"):
+            dotted = dotted[: -len(".__init__")]
+        modules[dotted] = path
+    return modules
+
+
+def missing_docstrings(modules: Dict[str, Path]) -> List[str]:
+    """Dotted names of modules whose file lacks a module docstring."""
+    missing = []
+    for dotted, path in modules.items():
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        doc = ast.get_docstring(tree)
+        if not doc or not doc.strip():
+            missing.append(dotted)
+    return missing
+
+
+def documented_modules(root: Path) -> Set[str]:
+    """Backticked dotted module names mentioned anywhere in API.md."""
+    text = (root / API_DOC).read_text(encoding="utf-8")
+    return set(_MODULE_TOKEN.findall(text))
+
+
+def run_checks(root: Path) -> List[str]:
+    """Return a list of human-readable problems (empty = all good)."""
+    problems: List[str] = []
+    modules = source_modules(root)
+    if not modules:
+        return [f"no modules found under {root / SRC_ROOT}"]
+
+    for dotted in missing_docstrings(modules):
+        problems.append(f"missing module docstring: {dotted} "
+                        f"({modules[dotted].relative_to(root)})")
+
+    if not (root / API_DOC).exists():
+        problems.append(f"missing {API_DOC}")
+        return problems
+
+    documented = documented_modules(root)
+    for dotted in sorted(set(modules) - documented):
+        problems.append(f"module not documented in {API_DOC}: {dotted}")
+    for dotted in sorted(documented - set(modules)):
+        problems.append(f"stale name in {API_DOC} (no such module): "
+                        f"{dotted}")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[1],
+                        help="repository root (default: this file's repo)")
+    args = parser.parse_args(argv)
+    problems = run_checks(args.root)
+    if problems:
+        print(f"docs check FAILED ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    count = len(source_modules(args.root))
+    print(f"docs check OK: {count} modules, all with docstrings, "
+          f"API.md in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
