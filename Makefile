@@ -1,0 +1,35 @@
+# Developer entry points.  Everything assumes only numpy + pytest are
+# installed; `make lint` additionally runs ruff when it is available
+# (CI installs it; the rule degrades gracefully without it).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint docs verify-programs all
+
+all: lint test docs
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Static analysis: the custom simulation-purity lint (always), the ISA
+# program-verifier smoke over the service decode geometry (always), and
+# ruff's pyflakes-error rules (when installed).
+lint:
+	$(PYTHON) tools/static_checks.py
+	$(PYTHON) -m repro lint-program OPT-13B --batch-tokens 1
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools benchmarks examples; \
+	else \
+		echo "ruff not installed; skipped ruff check"; \
+	fi
+
+docs:
+	$(PYTHON) tools/check_docs.py
+
+# Deeper program verification than the lint smoke: every geometry the
+# test sweep exercises, plus the batched decode step in JSON form.
+verify-programs:
+	$(PYTHON) -m repro lint-program OPT-13B --batch-tokens 1
+	$(PYTHON) -m repro lint-program OPT-13B --batch-tokens 64 --ctx-prev 0
+	$(PYTHON) -m repro lint-program tiny --batched 4 --errors-only

@@ -25,7 +25,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.accelerator import isa
 from repro.accelerator.memory import DeviceMemory, Region
 from repro.accelerator.registers import RegisterAllocator
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ProgramVerificationError,
+)
 from repro.llm.config import LLMConfig
 from repro.llm.reference import LN_EPS, ModelWeights
 
@@ -80,7 +84,11 @@ def load_model(memory: DeviceMemory, weights: ModelWeights) -> ModelLayout:
                 name, (config.max_seq_len, config.d_model))
     regions["input_buffer"] = memory.alloc_tensor(
         "input_buffer", (config.max_seq_len, config.d_model))
-    regions["output_buffer"] = memory.alloc_tensor("output_buffer", (8,))
+    # Sized for the widest single store: one token per request of a
+    # batched decode step (shape ``(batch,)``), which can exceed the
+    # historical 8-slot buffer.
+    regions["output_buffer"] = memory.alloc_tensor(
+        "output_buffer", (max(8, config.max_seq_len),))
     return ModelLayout(config=config, regions=regions)
 
 
@@ -308,17 +316,45 @@ class ProgramCache:
         misses: Stages that required a full compile.
     """
 
-    def __init__(self, compiler: StageCompiler, verify: bool = False):
+    def __init__(self, compiler: StageCompiler, verify: bool = False,
+                 verify_static: bool = False):
         self.compiler = compiler
         self.verify = verify
+        #: Run the :mod:`repro.analysis` verifier once per distinct
+        #: ``timing_key`` and raise ``ProgramVerificationError`` on any
+        #: ERROR diagnostic.  Patched programs share their template's
+        #: register structure, so the per-key check only adds the cheap
+        #: address pass on geometries not seen before.
+        self.verify_static = verify_static
         self._serial = next(_CACHE_SERIALS)
         #: batch size -> (template, template tokens, template ctx_prev,
         #: tuple of (instruction index, patch kind))
         self._templates: Dict[int, Tuple[CachedProgram, Tuple[int, ...],
                                          int, Tuple[Tuple[int, str], ...]]] \
             = {}
+        self._static_ok: set = set()
         self.hits = 0
         self.misses = 0
+
+    def _verify_static(self, program: "CachedProgram",
+                       full: bool) -> None:
+        """Statically verify one cached program (once per timing key).
+
+        ``full=True`` (template miss) runs dataflow + address +
+        pressure; ``full=False`` (patched clone) skips the
+        shape-inference pressure pass, since patching rewrites
+        immediates and inherits the template's register structure.
+        """
+        if not self.verify_static or program.timing_key in self._static_ok:
+            return
+        from repro.analysis.verifier import verify_program
+        report = verify_program(
+            program, layout=self.compiler.layout,
+            check_pressure=full,
+            subject=f"stage timing_key={program.timing_key}")
+        if not report.ok:
+            raise ProgramVerificationError(report.render())
+        self._static_ok.add(program.timing_key)
 
     @staticmethod
     def _patch_plan(program: Sequence[isa.Instruction]
@@ -350,6 +386,7 @@ class ProgramCache:
             fresh = self.compiler.compile_stage(tokens, ctx_prev)
             program = CachedProgram(fresh, (self._serial, m, ctx_prev))
             isa.validate_program_cached(program)
+            self._verify_static(program, full=True)
             self._templates[m] = (program, tokens, ctx_prev,
                                   self._patch_plan(program))
             self.misses += 1
@@ -378,6 +415,7 @@ class ProgramCache:
                 code[idx] = _patched(instr, ctx=ctx)
         patched = CachedProgram(code, (self._serial, m, ctx_prev))
         isa.register_validated(patched)
+        self._verify_static(patched, full=False)
         if self.verify:
             fresh = self.compiler.compile_stage(tokens, ctx_prev)
             if tuple(patched) != fresh:
@@ -426,8 +464,18 @@ def _fake_layout(config: LLMConfig) -> ModelLayout:
     fake("ln_f_beta", d)
     fake("lm_head", d * vocab)
     fake("input_buffer", config.max_seq_len * d)
-    fake("output_buffer", 8)
+    fake("output_buffer", max(8, config.max_seq_len))
     return ModelLayout(config=config, regions=regions)
+
+
+def timing_layout(config: LLMConfig) -> ModelLayout:
+    """Public accessor for the timing-only fake layout.
+
+    The static verifier (``repro lint-program``) uses it to run the
+    layout-aware address checks against the exact region map the timing
+    programs were compiled for, without allocating device memory.
+    """
+    return _fake_layout(config)
 
 
 def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int

@@ -630,7 +630,14 @@ Program = Tuple[Instruction, ...]
 
 
 def validate_program(program) -> None:
-    """Static checks: registers written before read, types correct."""
+    """Static checks: registers written before read, types correct.
+
+    When :mod:`repro.analysis` is importable, also surfaces the
+    verifier's address-space errors — negative, out-of-bounds, or
+    misaligned memory windows (PNM201/PNM202/PNM203) — as
+    :class:`IsaError`.  The deeper layout-aware and dataflow
+    diagnostics stay behind the opt-in ``verify_static`` hook.
+    """
     written = set()
     for idx, instr in enumerate(program):
         if not isinstance(instr, Instruction):
@@ -643,6 +650,22 @@ def validate_program(program) -> None:
         written.update(instr.writes())
         if isinstance(instr, Free):
             written.difference_update(instr.regs)
+    _validate_addresses(program)
+
+
+def _validate_addresses(program) -> None:
+    """Raise IsaError on address-space errors found by the verifier."""
+    try:
+        from repro.analysis.verifier import address_diagnostics
+    except ImportError:  # pragma: no cover - analysis layer optional
+        return
+    errors = [d for d in address_diagnostics(program)
+              if d.severity.value == "error"]
+    if errors:
+        rendered = "; ".join(d.render() for d in errors[:4])
+        more = f" (+{len(errors) - 4} more)" if len(errors) > 4 else ""
+        raise IsaError(f"address-space verification failed: "
+                       f"{rendered}{more}")
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Static analysis for the CXL-PNM simulation stack.
+
+Two prongs, one diagnostic model:
+
+* :mod:`repro.analysis.verifier` + :mod:`repro.analysis.dataflow` — a
+  static verifier for compiled PNM ISA programs: register dataflow
+  (hazards, use-before-def, dead writes), register-file pressure
+  against the Table II budgets, and device address-space checks
+  (bounds, alignment, DMA overlap, layout-aware region rules).
+* :mod:`repro.analysis.purity` — an AST lint enforcing simulation
+  purity across the source tree: no wall-clock in timing code, no
+  unseeded RNG, no state mutation inside observability guards, no
+  float64 in the float32-only reference kernels.
+
+Both report :class:`repro.analysis.diagnostics.Diagnostic` values in an
+:class:`repro.analysis.diagnostics.AnalysisReport`; ``report.ok`` means
+no errors ("verifies clean"), ``report.clean`` means no findings at
+all.  Entry points: ``repro lint-program`` (CLI), the opt-in
+``verify_static=True`` hook on :class:`repro.accelerator.compiler.ProgramCache`,
+and ``tools/static_checks.py`` for the purity lint in CI.
+"""
+
+from .dataflow import (
+    BANK_CAPACITY_BYTES,
+    DataflowFacts,
+    PressureReport,
+    analyze_program,
+    infer_shapes,
+    register_pressure,
+)
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+from .purity import lint_path, lint_source, lint_tree, rules_for
+from .verifier import (
+    DEFAULT_ADDRESS_SPACE,
+    address_diagnostics,
+    dataflow_diagnostics,
+    memory_windows,
+    pressure_diagnostics,
+    verify_program,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "BANK_CAPACITY_BYTES",
+    "DEFAULT_ADDRESS_SPACE",
+    "DataflowFacts",
+    "Diagnostic",
+    "PressureReport",
+    "Severity",
+    "address_diagnostics",
+    "analyze_program",
+    "dataflow_diagnostics",
+    "infer_shapes",
+    "lint_path",
+    "lint_source",
+    "lint_tree",
+    "memory_windows",
+    "pressure_diagnostics",
+    "register_pressure",
+    "rules_for",
+    "verify_program",
+]

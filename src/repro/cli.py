@@ -19,6 +19,11 @@ Commands:
   uncorrected / retried / failed-over counts.  With no fault flags it
   runs the default §IX schedule.
 * ``isa`` — the accelerator's generated ISA reference.
+* ``lint-program <model>|tiny [--batch-tokens N] [--ctx-prev N]
+  [--batched B] [--json]`` — compile a timing program for the given
+  geometry and run the :mod:`repro.analysis` static verifier over it.
+  Exit code 0 when the report is clean, 2 when it has diagnostics
+  (``--errors-only`` counts only errors), 1 when the tool itself fails.
 * ``roofline <model>`` — roofline placement of a zoo model's stages on
   CXL-PNM and the A100.
 * ``generate [--layers N ...]`` — run a miniature model functionally
@@ -273,6 +278,48 @@ def _cmd_isa(_args) -> int:
     return 0
 
 
+#: ``lint-program`` exit code when the program has diagnostics.  Kept
+#: distinct from 1 (tool crash) so CI can assert "found findings" vs
+#: "the linter itself broke".
+EXIT_DIAGNOSTICS = 2
+
+
+def _cmd_lint_program(args) -> int:
+    from repro.accelerator.compiler import (
+        batched_timing_program,
+        timing_layout,
+        timing_program,
+    )
+    from repro.analysis import verify_program
+    config = tiny_config() if args.model == "tiny" \
+        else get_model(args.model)
+    layout = timing_layout(config)
+    if args.ctx_prev is None:
+        # The service experiment's decode point, clamped to the model:
+        # a batched decode step appends one row per request; a plain
+        # stage consumes batch_tokens positions.
+        occupied = 1 if args.batched is not None else args.batch_tokens
+        args.ctx_prev = min(576, config.max_seq_len - occupied)
+    if args.batched is not None:
+        program = batched_timing_program(config, batch=args.batched,
+                                         ctx_prev=args.ctx_prev)
+        subject = (f"{config.name} batched decode batch={args.batched} "
+                   f"ctx_prev={args.ctx_prev}")
+    else:
+        program = timing_program(config, batch_tokens=args.batch_tokens,
+                                 ctx_prev=args.ctx_prev)
+        subject = (f"{config.name} stage m={args.batch_tokens} "
+                   f"ctx_prev={args.ctx_prev}")
+    report = verify_program(program, layout=layout, subject=subject)
+    if args.json:
+        import json
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    failed = not report.ok if args.errors_only else not report.clean
+    return EXIT_DIAGNOSTICS if failed else 0
+
+
 def _cmd_roofline(args) -> int:
     from repro.accelerator import CXLPNMDevice
     from repro.experiments.report import text_table
@@ -406,6 +453,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("isa", help="accelerator ISA reference").set_defaults(
         func=_cmd_isa)
+
+    lint = sub.add_parser(
+        "lint-program",
+        help="statically verify a compiled timing program")
+    lint.add_argument("model", help="zoo model name, or 'tiny'")
+    lint.add_argument("--batch-tokens", type=int, default=1,
+                      help="tokens in the stage (default 1 = gen stage)")
+    lint.add_argument("--ctx-prev", type=int, default=None,
+                      help="prior context length (default: 576, the "
+                           "service experiment's decode point, clamped "
+                           "to the model's max_seq_len)")
+    lint.add_argument("--batched", type=int, default=None, metavar="B",
+                      help="verify the batched decode step for B "
+                           "requests instead of a single stage")
+    lint.add_argument("--errors-only", action="store_true",
+                      help="exit 2 only on errors (ignore warnings)")
+    lint.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    lint.set_defaults(func=_cmd_lint_program)
 
     roofline = sub.add_parser("roofline",
                               help="roofline placement of a zoo model")

@@ -96,6 +96,24 @@ class FaultInjectionError(ReproError):
     """A fault plan or injector was configured inconsistently."""
 
 
+class StaticAnalysisError(ReproError):
+    """Base class for errors raised by the :mod:`repro.analysis` layer."""
+
+
+class ProgramVerificationError(StaticAnalysisError):
+    """A compiled program failed static verification (has ERROR
+    diagnostics).
+
+    Raised by the ``verify_static=True`` hook on ``ProgramCache`` and by
+    ``verify_program`` callers that demand a clean report; the message
+    carries the rendered diagnostics.
+    """
+
+
+class PurityError(StaticAnalysisError):
+    """The simulation-purity lint found a violated source invariant."""
+
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -114,4 +132,7 @@ __all__ = [
     "ParallelismError",
     "SimulationError",
     "FaultInjectionError",
+    "StaticAnalysisError",
+    "ProgramVerificationError",
+    "PurityError",
 ]

@@ -77,7 +77,8 @@ class InferenceSession:
                  completion_mode: CompletionMode = CompletionMode.INTERRUPT,
                  simulate_timing: bool = True,
                  device: Optional[CXLPNMDevice] = None,
-                 tracer=None, metrics=None, fast_path: bool = True):
+                 tracer=None, metrics=None, fast_path: bool = True,
+                 verify_static: bool = False):
         config = weights.config
         if memory_bytes is None:
             # Parameters + caches + buffers, with fp32 functional storage
@@ -98,7 +99,8 @@ class InferenceSession:
                                    fast_path=fast_path)
         self.layout: ModelLayout = load_model(self.memory, weights)
         self.compiler = StageCompiler(self.layout)
-        self.program_cache = ProgramCache(self.compiler) \
+        self.program_cache = ProgramCache(
+            self.compiler, verify_static=verify_static) \
             if fast_path else None
         self._device = device or CXLPNMDevice()
         self.simulator = AcceleratorSimulator(
@@ -211,12 +213,12 @@ class InferenceSession:
     def _trace_host_readback(self, tracer, metrics) -> None:
         """Account the host's CXL.mem read of the output token.
 
-        Observability only: the modelled link time is laid onto the
-        trace timeline (between stages) and counted in the registry, but
-        never added to the stage times a trace reports.
+        The modelled link time advances the trace-placement clock
+        unconditionally — ``_sim_clock_s`` must not depend on whether
+        observability is on (the purity lint's PUR303 guarantee) — but
+        it is never added to the stage times a trace reports.  Only the
+        span emission and the byte counter sit behind the guards.
         """
-        if not (tracer.enabled or metrics.enabled):
-            return
         nbytes = 4  # one fp32 token slot in the output buffer
         link_s = self._device.link.transfer_time(nbytes)
         if metrics.enabled:

@@ -1,0 +1,108 @@
+"""CLI surfaces of the static-analysis layer: exit codes and JSON.
+
+The repo-wide convention under test: 0 = clean, 2 = the tool ran and
+found diagnostics, 1 = the tool itself failed.  CI scripts rely on the
+distinction to tell "findings" from "the linter broke".
+"""
+
+import importlib.util
+import io
+import json
+from contextlib import redirect_stdout
+from pathlib import Path
+
+from repro.cli import EXIT_DIAGNOSTICS, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "static_checks", REPO_ROOT / "tools" / "static_checks.py")
+static_checks = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(static_checks)
+
+
+def _run(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+class TestLintProgramExitCodes:
+    def test_clean_program_exits_zero(self):
+        code, out = _run(["lint-program", "tiny"])
+        assert code == 0
+        assert "clean" in out
+
+    def test_warnings_exit_two(self):
+        code, out = _run(["lint-program", "tiny", "--batched", "4"])
+        assert code == EXIT_DIAGNOSTICS == 2
+        assert "PNM104" in out and "PNM204" in out
+
+    def test_errors_only_ignores_warnings(self):
+        code, _ = _run(["lint-program", "tiny", "--batched", "4",
+                        "--errors-only"])
+        assert code == 0
+
+    def test_unknown_model_is_tool_failure(self):
+        code, _ = _run(["lint-program", "no-such-model"])
+        assert code == 1
+
+    def test_impossible_geometry_is_tool_failure(self):
+        # ctx beyond max_seq_len: the compiler refuses, which is a
+        # crash (1), not a diagnostic finding (2).
+        code, _ = _run(["lint-program", "tiny", "--ctx-prev", "4096"])
+        assert code == 1
+
+    def test_explicit_geometry(self):
+        code, out = _run(["lint-program", "tiny",
+                          "--batch-tokens", "4", "--ctx-prev", "8"])
+        assert code == 0
+        assert "m=4" in out and "ctx_prev=8" in out
+
+
+class TestLintProgramJson:
+    def test_json_clean(self):
+        code, out = _run(["lint-program", "tiny", "--json"])
+        assert code == 0
+        report = json.loads(out)
+        assert report["ok"] is True and report["clean"] is True
+        assert report["diagnostics"] == []
+
+    def test_json_diagnostics_carry_index_and_code(self):
+        code, out = _run(["lint-program", "tiny", "--batched", "3",
+                          "--json"])
+        assert code == 2
+        report = json.loads(out)
+        assert report["ok"] is True and report["clean"] is False
+        for diag in report["diagnostics"]:
+            assert diag["code"].startswith("PNM")
+            assert isinstance(diag["index"], int)
+            assert diag["severity"] == "warning"
+
+
+class TestStaticChecksTool:
+    def test_real_tree_clean_exits_zero(self, capsys):
+        code = static_checks.main(["--root", str(REPO_ROOT / "src" / "repro")])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_tree_exits_two(self, tmp_path, capsys):
+        pkg = tmp_path / "perf"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            '"""doc."""\nimport time\nT = time.time()\n')
+        code = static_checks.main(["--root", str(tmp_path)])
+        assert code == static_checks.EXIT_DIAGNOSTICS == 2
+        assert "PUR301" in capsys.readouterr().out
+
+    def test_missing_root_exits_one(self, capsys):
+        code = static_checks.main(["--root", "/no/such/dir"])
+        assert code == 1
+
+    def test_json_output(self, capsys):
+        code = static_checks.main(
+            ["--root", str(REPO_ROOT / "src" / "repro"), "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True

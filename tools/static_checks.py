@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Simulation-purity lint runner (the CI ``static-analysis`` job).
+
+Thin CLI over :mod:`repro.analysis.purity`: lints every Python file
+under ``src/repro`` against the PUR3xx rules — no wall-clock in timing
+code, no unseeded RNG, no shared-state mutation inside observability
+guards, no float64 in the float32-only reference kernels.  See
+``docs/ANALYSIS.md`` for the rule table.
+
+Usage::
+
+    PYTHONPATH=src python tools/static_checks.py [--root DIR] [--json]
+
+Exit codes follow the repo convention: 0 clean, 2 when the lint found
+diagnostics, 1 when the tool itself failed (bad root, import error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+#: Exit code for "the lint found something" (vs 1 = tool crashed).
+EXIT_DIAGNOSTICS = 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=None,
+                        help="tree to lint (default: src/repro next to "
+                             "this script's repo)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    args = parser.parse_args(argv)
+
+    root = args.root
+    if root is None:
+        root = Path(__file__).resolve().parents[1] / "src" / "repro"
+    if not root.is_dir():
+        print(f"error: no such directory: {root}", file=sys.stderr)
+        return 1
+
+    sys.path.insert(0, str(root.parent))
+    try:
+        from repro.analysis.purity import lint_tree
+    except ImportError as exc:
+        print(f"error: cannot import repro.analysis: {exc}",
+              file=sys.stderr)
+        return 1
+
+    report = lint_tree(root)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return EXIT_DIAGNOSTICS if not report.clean else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
