@@ -1,11 +1,33 @@
-"""Serving-engine bench: FCFS-exclusive vs continuous batching.
+#!/usr/bin/env python
+"""Serving-engine bench: FCFS vs continuous, and event-kernel scale.
 
-Not a paper figure — the serving-layer comparison behind the paper's
-§VII batching discussion: the same overloaded open-loop OPT-13B stream
-served by exclusive FCFS dispatch and by the iteration-level batching
-engine on one CXL-PNM device.  The headline numbers (sustained
-throughput, TTFT) land in ``extra_info``.
+Two pytest-benchmark cases keep the original serving-layer comparison
+behind the paper's §VII batching discussion: the same overloaded
+open-loop OPT-13B stream served by exclusive FCFS dispatch and by the
+iteration-level batching engine on one CXL-PNM device.  The headline
+numbers (sustained throughput, TTFT) land in ``extra_info``.
+
+Run as a script, this benchmarks the **event-driven kernel at cluster
+scale** — a sampled-lognormal OPT-13B workload across ``--devices``
+model replicas — and writes a JSON record next to the other benchmark
+results:
+
+    PYTHONPATH=src python benchmarks/bench_continuous.py \
+        --requests 100000 --devices 8
+
+The record's ``wall_s`` is the wall-clock cost of simulating the whole
+stream (the acceptance bar: >=100k requests on >=8 devices in under two
+minutes); ``ab_speedup_wall`` compares the event kernel against the
+legacy barrier kernel on a smaller identical stream.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 from repro.accelerator import CXLPNMDevice
 from repro.appliance import (
@@ -15,7 +37,11 @@ from repro.appliance import (
     timer_service,
 )
 from repro.llm import OPT_13B, InferenceRequest
+from repro.llm.workload import sampled_workload
 from repro.perf.analytical import BatchStepTimer, PnmPerfModel
+
+RESULTS = Path(__file__).resolve().parent / "results" / \
+    "BENCH_continuous.json"
 
 REQUESTS = [InferenceRequest(64, 64, request_id=i) for i in range(24)]
 RATE_PER_S = 2.0  # ~4x one exclusive CXL-PNM instance's capacity
@@ -55,3 +81,98 @@ def test_serve_continuous_batching(benchmark):
         config=OPT_13B, memory_bytes=_DEVICE.memory_capacity
     ).run(REQUESTS, ARRIVALS)
     assert stats.throughput_tokens_per_s > fcfs.throughput_tokens_per_s
+
+
+def _serve(requests, arrivals, devices, max_batch, engine):
+    """One timed run; returns (wall_seconds, stats)."""
+    scheduler = ContinuousBatchScheduler(
+        BatchStepTimer(OPT_13B, _PERF), OPT_13B,
+        _DEVICE.memory_capacity, max_batch=max_batch,
+        num_devices=devices, engine=engine)
+    start = time.perf_counter()
+    stats = scheduler.run(requests, arrivals)
+    return time.perf_counter() - start, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=100_000,
+                        help="stream length (default 100000)")
+    parser.add_argument("--devices", type=int, default=8,
+                        help="model replicas (default 8)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="per-device batch cap (default 64)")
+    parser.add_argument("--ab-requests", type=int, default=20_000,
+                        help="stream length of the event-vs-barrier "
+                             "wall-clock comparison (default 2000)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=RESULTS,
+                        help=f"JSON output path (default {RESULTS})")
+    parser.add_argument("--max-wall-s", type=float, default=None,
+                        help="fail if the scale run exceeds this")
+    args = parser.parse_args(argv)
+
+    requests = sampled_workload(args.requests, seed=args.seed,
+                                max_total=OPT_13B.max_seq_len)
+    # Saturating open-loop load: ~4x the whole cluster's
+    # exclusive-dispatch capacity on the mean request shape.
+    service = timer_service(OPT_13B, _PERF)
+    rate = 4.0 * args.devices / service(InferenceRequest(64, 256))
+    arrivals = poisson_arrivals(len(requests), rate, seed=args.seed)
+
+    wall_s, stats = _serve(requests, arrivals, args.devices,
+                           args.max_batch, "event")
+    tokens = sum(c.request.total_tokens for c in stats.completed)
+    print(f"event kernel: {args.requests} requests x {args.devices} "
+          f"devices in {wall_s:.1f} s wall "
+          f"({args.requests / wall_s:.0f} req/s simulated, "
+          f"{stats.num_iterations} decode iterations, "
+          f"sim makespan {stats.makespan_s:.0f} s, "
+          f"{stats.throughput_tokens_per_s:.0f} sim tok/s)")
+
+    ab_requests = sampled_workload(args.ab_requests, seed=args.seed,
+                                   max_total=OPT_13B.max_seq_len)
+    ab_arrivals = poisson_arrivals(len(ab_requests), rate,
+                                   seed=args.seed)
+    event_s, event_stats = _serve(ab_requests, ab_arrivals,
+                                  args.devices, args.max_batch, "event")
+    barrier_s, barrier_stats = _serve(ab_requests, ab_arrivals,
+                                      args.devices, args.max_batch,
+                                      "barrier")
+    ab_speedup = barrier_s / event_s
+    print(f"A/B at {args.ab_requests} requests: event {event_s:.2f} s, "
+          f"barrier {barrier_s:.2f} s wall -> {ab_speedup:.1f}x; "
+          f"event mean latency {event_stats.mean_latency_s:.2f} s vs "
+          f"barrier {barrier_stats.mean_latency_s:.2f} s")
+
+    record = {
+        "benchmark": "event_kernel_serving",
+        "model": OPT_13B.name,
+        "requests": args.requests,
+        "devices": args.devices,
+        "max_batch": args.max_batch,
+        "arrival_rate_req_s": rate,
+        "wall_s": wall_s,
+        "requests_per_wall_s": args.requests / wall_s,
+        "completed": len(stats.completed),
+        "num_iterations": stats.num_iterations,
+        "sim_makespan_s": stats.makespan_s,
+        "sim_throughput_tok_s": stats.throughput_tokens_per_s,
+        "sim_tokens": tokens,
+        "ab_requests": args.ab_requests,
+        "ab_event_wall_s": event_s,
+        "ab_barrier_wall_s": barrier_s,
+        "ab_speedup_wall": ab_speedup,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.max_wall_s is not None and wall_s > args.max_wall_s:
+        print(f"FAIL: wall {wall_s:.1f} s above required "
+              f"{args.max_wall_s:.1f} s")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ from repro.appliance.cluster import (
 from repro.appliance.continuous import (
     ContinuousBatchScheduler,
     ContinuousBatchStats,
+    FailoverEvent,
     simulated_step_model,
 )
 from repro.appliance.pipeline import PipelinePlan
@@ -28,6 +29,7 @@ from repro.appliance.parallelism import (
 __all__ = [
     "ContinuousBatchScheduler",
     "ContinuousBatchStats",
+    "FailoverEvent",
     "PipelinePlan",
     "RejectedRequest",
     "RequestScheduler",

@@ -1,4 +1,4 @@
-"""Continuous (iteration-level) batching over one model instance.
+"""Continuous batching over model replicas: event-driven serving kernel.
 
 The FCFS scheduler in :mod:`repro.appliance.scheduler` gives each
 request an exclusive instance for its whole lifetime, so every gen
@@ -10,34 +10,53 @@ processes one token from every running request against once-streamed
 weights (small-batch GEMM, the lever of the paper's ref [10]), and
 requests leave the moment their last token is produced.
 
-:class:`ContinuousBatchScheduler` is a discrete-event simulation of
-that regime at decode-step granularity:
+:class:`ContinuousBatchScheduler` simulates that regime at decode-step
+granularity with one of two kernels:
+
+* ``engine="event"`` (default) — a **global event heap** of
+  request-arrival, device-step-complete, and device-fault events.
+  Each device's timeline advances independently: admission, prefill,
+  decode, stall, and failover all fire at their true simulated times
+  instead of at a global iteration boundary.  Quiet decode stretches
+  (no pending admissions, no scheduled fault before the next
+  completion) are planned as a single *macro-step*: the whole cohort
+  of decode steps is priced in one vectorized call
+  (``step.decode_steps_s`` when the model provides it), which is what
+  makes cluster-scale runs (10^5–10^6 requests) tractable.
+* ``engine="barrier"`` — the legacy lock-step kernel, kept temporarily
+  for A/B comparison.  Every iteration ends at the slowest device, so
+  per-device completion times and stall handling are quantized to the
+  global barrier; see DESIGN.md for the exact semantic deltas.
+
+Scheduling semantics shared by both kernels:
 
 * **Admission** — FCFS from the waiting queue; a request is admitted
-  when the batch has a slot (``max_batch``) and its *peak* KV footprint
-  fits in the reserved-KV budget (``kv_spare_bytes``; reserving peak
-  up-front guarantees no mid-flight eviction).  Requests that can never
-  be served — position budget or device memory exceeded — are rejected
-  with a reason instead of being served with a fabricated latency.
+  when the target device has a slot (``max_batch``) and its *peak* KV
+  footprint fits in the reserved-KV budget (``kv_spare_bytes``;
+  reserving peak up-front guarantees no mid-flight eviction).
+  Requests that can never be served — position budget or device
+  memory exceeded — are rejected with a reason instead of being
+  served with a fabricated latency.
 * **Iteration** — newly admitted requests run their prefill (sum
   stage, emitting their first token); everyone else advances one
   decode step, costed by the step model at the batch's mean context.
 * **Completion** — a request reaching ``output_len`` leaves and frees
-  its KV reservation at the iteration boundary.
+  its KV reservation at its own device's step boundary.
 
 Per-request time-to-first-token and time-between-tokens come out of the
 same timeline, alongside the familiar :class:`ServiceStats` aggregates.
-Observability (per-iteration sim spans, a batch-occupancy gauge,
-admission/rejection counters) only records — results are bit-identical
-with tracing on or off.
+Observability (per-device-step sim spans on ``scheduler.dev<i>``
+tracks, a batch-occupancy gauge, admission/rejection counters) only
+records — results are bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -47,7 +66,7 @@ from repro.appliance.scheduler import (
     ServiceStats,
     infeasible_error,
 )
-from repro.errors import ConfigurationError, DeviceLostError
+from repro.errors import ConfigurationError, DeviceLostError, SimulationError
 from repro.faults.context import get_faults
 from repro.faults.plan import DeviceFaultEvent, DeviceFaultKind
 from repro.llm.config import LLMConfig
@@ -55,14 +74,21 @@ from repro.llm.kvcache import kv_spare_bytes, peak_kv_bytes
 from repro.llm.workload import InferenceRequest
 from repro.obs.context import get_metrics, get_tracer
 
-#: Iteration sim-spans traced per run; long runs have tens of thousands
-#: of near-identical steps, so the trace keeps the first ones and notes
-#: the truncation in the span args.
+#: Device-step sim-spans traced per run; long runs have tens of
+#: thousands of near-identical steps, so the trace keeps the first ones
+#: and notes the truncation in the span args.
 MAX_TRACED_ITERATIONS = 4096
 
 
 class BatchStepModel(Protocol):
-    """What the engine needs from a cost model: per-iteration seconds."""
+    """What the engine needs from a cost model: per-iteration seconds.
+
+    A step model *may* additionally provide
+    ``decode_steps_s(batch, context_lens) -> ndarray`` — a vectorized
+    cohort evaluation used by the event kernel's macro-steps (see
+    :class:`repro.perf.analytical.BatchStepTimer`).  Models without it
+    fall back to one ``decode_step_s`` call per step.
+    """
 
     def prefill_s(self, input_len: int) -> float:
         """One request's sum stage (produces its first token)."""
@@ -102,7 +128,9 @@ class FailoverEvent:
     """One device failure the engine survived, for the failover timeline.
 
     Attributes:
-        at_s: Iteration boundary at which the failure took effect.
+        at_s: Simulated time at which the failure took effect (the
+            event's true time under the event kernel; the next global
+            iteration boundary under the barrier kernel).
         device: Index of the lost device.
         requeued: In-flight requests returned to the waiting queue.
     """
@@ -114,7 +142,15 @@ class FailoverEvent:
 
 @dataclass(eq=False)
 class _Running:
-    """In-flight request state inside the batch (identity semantics)."""
+    """In-flight request state inside a device's batch (identity
+    semantics).
+
+    ``failovers``/``requeued_at`` travel with the *queue entry* (set at
+    admission from the waiting-queue tuple), never through a table
+    keyed by ``id(request)`` — duplicate request objects in the input
+    or recycled object ids therefore cannot mis-attribute failover
+    counts.
+    """
 
     request: InferenceRequest
     arrival_s: float
@@ -125,6 +161,7 @@ class _Running:
     generated: int = 0
     failovers: int = 0
     first_token_s: Optional[float] = None
+    requeued_at: Optional[float] = None
 
     @property
     def context_len(self) -> int:
@@ -134,6 +171,10 @@ class _Running:
     @property
     def done(self) -> bool:
         return self.generated >= self.request.output_len
+
+
+#: Waiting-queue entry: (request, arrival_s, failovers, requeued_at).
+_QueueEntry = Tuple[InferenceRequest, float, int, Optional[float]]
 
 
 @dataclass
@@ -146,8 +187,11 @@ class ContinuousBatchStats(ServiceStats):
     when a fault plan scheduled device events (``repro.faults``):
     ``failover_events`` is the survived-failure timeline,
     ``failover_latencies_s`` holds the queue-to-readmission delay of
-    every requeued request, and ``stall_s`` totals transient device
-    stalls charged to the timeline.
+    every requeued request, ``stall_s`` totals the transient device
+    stalls that elapsed in simulated time (a stall overlapping idle
+    time still counts here but delays nobody), and ``lost_device_s``
+    is the serving capacity destroyed by permanent failures — for each
+    dead device, the span from its failure to the end of the run.
     """
 
     num_iterations: int = 0
@@ -156,6 +200,7 @@ class ContinuousBatchStats(ServiceStats):
     occupancy_time_s: float = 0.0
     stall_s: float = 0.0
     devices_failed: int = 0
+    lost_device_s: float = 0.0
     failover_events: List[FailoverEvent] = field(default_factory=list)
     failover_latencies_s: List[float] = field(default_factory=list)
 
@@ -173,17 +218,33 @@ class ContinuousBatchStats(ServiceStats):
 
     @property
     def mean_occupancy(self) -> float:
-        """Time-weighted mean batch size while the engine was busy."""
+        """Time-weighted mean batch size per busy device-second."""
         return self.occupancy_time_s / self.busy_s if self.busy_s else 0.0
 
     @property
-    def instance_utilization(self) -> float:
-        """Fraction of the makespan with a non-empty batch.
+    def available_device_s(self) -> float:
+        """Device-seconds of serving capacity actually available.
 
-        Overrides the FCFS definition (per-request busy time summed over
-        instances), which would double-count overlapping residents.
+        ``num_instances * makespan_s`` minus the capacity destroyed by
+        permanent device failures (``lost_device_s``): a dead device
+        stops accruing capacity at its failure time instead of being
+        charged as idle for the rest of the run.
         """
-        return self.busy_s / self.makespan_s if self.makespan_s else 0.0
+        return max(0.0,
+                   self.makespan_s * self.num_instances
+                   - self.lost_device_s)
+
+    @property
+    def instance_utilization(self) -> float:
+        """Busy device-seconds over *available* device-seconds.
+
+        Overrides the FCFS definition (per-request busy time summed
+        over instances), which would double-count overlapping
+        residents.  The denominator excludes capacity lost to
+        permanent device failures.
+        """
+        capacity = self.available_device_s
+        return self.busy_s / capacity if capacity else 0.0
 
     def _ttfts(self) -> np.ndarray:
         return np.array([c.ttft_s for c in self.completed
@@ -216,6 +277,7 @@ class ContinuousBatchStats(ServiceStats):
             "mean_tbt_s": self.mean_tbt_s,
             "stall_s": self.stall_s,
             "devices_failed": float(self.devices_failed),
+            "lost_device_s": self.lost_device_s,
             "failovers": float(self.failovers),
             "mean_failover_latency_s": self.mean_failover_latency_s,
         })
@@ -224,23 +286,29 @@ class ContinuousBatchStats(ServiceStats):
 
 @dataclass
 class ContinuousBatchScheduler:
-    """Iteration-level scheduler forming the batch anew every decode step.
+    """Continuous-batching scheduler forming each device's batch anew
+    every decode step.
 
     Attributes:
         step: Per-iteration cost model (prefill and batched decode);
             :class:`repro.perf.analytical.BatchStepTimer` for the
-            analytical devices, or any object with the same two methods.
+            analytical devices, or any object with the same two
+            methods (an optional vectorized ``decode_steps_s``
+            accelerates the event kernel's macro-steps).
         config: The model being served (drives KV/position budgets).
         memory_bytes: Per-device memory; parameters are resident, the
             rest is each device's KV admission budget.
         max_batch: Optional hard cap on concurrent requests per device
             (defaults to whatever the KV budget allows).
         num_devices: Model replicas served in parallel (appliance DP).
-            Each device runs its own batch; an iteration advances all
-            of them, ending at the slowest.  Scheduled device faults
-            from an ambient :class:`~repro.faults.FaultPlan` stall or
-            permanently fail individual devices — the engine requeues
-            the victims and re-admits them against surviving capacity.
+            Each device runs its own batch and its own timeline.
+            Scheduled device faults from an ambient
+            :class:`~repro.faults.FaultPlan` stall or permanently fail
+            individual devices — the engine requeues the victims and
+            re-admits them against surviving capacity.
+        engine: ``"event"`` (default) for the event-driven kernel,
+            ``"barrier"`` for the legacy lock-step kernel kept for A/B
+            comparison.
         tracer: Optional span tracer; defaults to the ambient/no-op one.
         metrics: Optional metrics registry, resolved the same way.
     """
@@ -250,6 +318,7 @@ class ContinuousBatchScheduler:
     memory_bytes: int
     max_batch: Optional[int] = None
     num_devices: int = 1
+    engine: str = "event"
     tracer: Optional[object] = None
     metrics: Optional[object] = None
 
@@ -258,6 +327,10 @@ class ContinuousBatchScheduler:
             raise ConfigurationError("max_batch must be >= 1")
         if self.num_devices < 1:
             raise ConfigurationError("need at least one device")
+        if self.engine not in ("event", "barrier"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                "pick 'event' or 'barrier'")
         if kv_spare_bytes(self.config, self.memory_bytes) <= 0:
             raise ConfigurationError(
                 f"{self.config.name} parameters leave no KV room in "
@@ -285,17 +358,55 @@ class ContinuousBatchScheduler:
         faults = get_faults()
         events: Sequence[DeviceFaultEvent] = \
             faults.device_events if faults is not None else ()
+        waiting: List[_QueueEntry] = [
+            (r, a, 0, None)
+            for r, a in sorted(zip(requests, arrival_times),
+                               key=lambda p: p[1])]
+        with tracer.span("scheduler.continuous", category="scheduler",
+                         requests=len(requests), engine=self.engine,
+                         memory_gb=self.memory_bytes / 1e9):
+            if self.engine == "event":
+                stats = _EventKernel(self, waiting, tracer, metrics,
+                                     faults, events).run()
+            else:
+                stats = self._run_barrier(waiting, tracer, metrics,
+                                          faults, events)
+        if metrics.enabled:
+            for c in stats.completed:
+                if c.ttft_s is not None:
+                    metrics.histogram("scheduler.ttft_s").observe(c.ttft_s)
+                if c.mean_tbt_s is not None:
+                    metrics.histogram("scheduler.tbt_s").observe(
+                        c.mean_tbt_s)
+                metrics.histogram("scheduler.latency_s").observe(
+                    c.total_latency_s)
+        return stats
+
+    # -- legacy lock-step kernel (A/B reference) -------------------------
+
+    def _run_barrier(self, waiting: List[_QueueEntry], tracer, metrics,
+                     faults, events: Sequence[DeviceFaultEvent]
+                     ) -> ContinuousBatchStats:
+        """The pre-event-kernel iteration loop, kept for A/B testing.
+
+        Time advances in global iterations that end at the slowest
+        device, so admission, faults, and stall charging are quantized
+        to barrier boundaries (the modeling inaccuracy the event kernel
+        removes).  Completion times, failover attribution, and
+        lost-capacity accounting carry the satellite fixes: a request
+        finishes at its *own device's* iteration end, failover state
+        rides the queue entry, and ``lost_device_s`` is tracked.
+        """
         ev_idx = 0
         kv_budget = kv_spare_bytes(self.config, self.memory_bytes)
-        waiting = sorted(zip(requests, arrival_times), key=lambda p: p[1])
         head = 0
         running: List[_Running] = []
         free_slots: List[int] = []
         next_slot = 0
         kv_reserved = [0] * self.num_devices
         alive = [True] * self.num_devices
+        failed_at: List[Optional[float]] = [None] * self.num_devices
         stall_pending = [0.0] * self.num_devices
-        requeue_info: Dict[int, tuple] = {}
         completed: List[CompletedRequest] = []
         rejected: List[RejectedRequest] = []
         failover_events: List[FailoverEvent] = []
@@ -308,230 +419,223 @@ class ContinuousBatchScheduler:
         stall_total_s = 0.0
         devices_failed = 0
 
-        with tracer.span("scheduler.continuous", category="scheduler",
-                         requests=len(requests),
-                         memory_gb=self.memory_bytes / 1e9):
-            while head < len(waiting) or running:
-                if not running and head < len(waiting) \
-                        and waiting[head][1] > now:
-                    now = waiting[head][1]  # idle: jump to next arrival
+        while head < len(waiting) or running:
+            if not running and head < len(waiting) \
+                    and waiting[head][1] > now:
+                now = waiting[head][1]  # idle: jump to next arrival
 
-                # -- scheduled device faults (iteration boundaries) -----
-                while ev_idx < len(events) and events[ev_idx].at_s <= now:
-                    event = events[ev_idx]
-                    ev_idx += 1
-                    if event.device >= self.num_devices \
-                            or not alive[event.device]:
-                        continue  # unmapped or already-dead device
-                    if event.kind is DeviceFaultKind.STALL:
-                        stall_pending[event.device] += event.duration_s
-                        stall_total_s += event.duration_s
-                        if faults is not None:
-                            faults.note_stall(event.duration_s)
-                        if metrics.enabled:
-                            metrics.counter("scheduler.device_stalls").inc()
-                        if tracer.enabled:
-                            tracer.sim_span(
-                                "device_stall", start_s=now,
-                                dur_s=event.duration_s,
-                                track="scheduler.faults", category="faults",
-                                args={"device": event.device})
-                        continue
-                    # Permanent failure: the device's in-flight requests
-                    # lose their KV caches and return to the queue head
-                    # (original order), to re-run admission against the
-                    # surviving capacity.
-                    alive[event.device] = False
-                    devices_failed += 1
-                    victims = [r for r in running
-                               if r.device == event.device]
-                    running = [r for r in running
-                               if r.device != event.device]
-                    for victim in victims:
-                        kv_reserved[event.device] -= victim.kv_reserved
-                        heapq.heappush(free_slots, victim.slot)
-                        requeue_info[id(victim.request)] = (
-                            victim.failovers + 1, now)
-                    waiting[head:head] = [(v.request, v.arrival_s)
-                                          for v in victims]
-                    failover_events.append(FailoverEvent(
-                        at_s=now, device=event.device,
-                        requeued=len(victims)))
+            # -- scheduled device faults (iteration boundaries) -----
+            while ev_idx < len(events) and events[ev_idx].at_s <= now:
+                event = events[ev_idx]
+                ev_idx += 1
+                if event.device >= self.num_devices \
+                        or not alive[event.device]:
+                    continue  # unmapped or already-dead device
+                if event.kind is DeviceFaultKind.STALL:
+                    stall_pending[event.device] += event.duration_s
+                    stall_total_s += event.duration_s
                     if faults is not None:
-                        faults.note_device_failure(requeued=len(victims))
+                        faults.note_stall(event.duration_s)
                     if metrics.enabled:
-                        metrics.counter("scheduler.device_failures").inc()
-                        metrics.counter("scheduler.requeued").inc(
-                            len(victims))
+                        metrics.counter("scheduler.device_stalls").inc()
                     if tracer.enabled:
                         tracer.sim_span(
-                            "device_fail", start_s=now, dur_s=0.0,
+                            "device_stall", start_s=now,
+                            dur_s=event.duration_s,
                             track="scheduler.faults", category="faults",
-                            args={"device": event.device,
-                                  "requeued": len(victims)})
-                if not any(alive):
-                    # Nothing left to serve on: reject the remaining
-                    # work with the typed error instead of hanging.
-                    for request, arrival in waiting[head:]:
-                        error = DeviceLostError(
-                            "all devices failed; serving capacity lost")
-                        rejected.append(RejectedRequest(
-                            request=request, arrival_s=arrival,
-                            reason=str(error), error=error))
-                        if metrics.enabled:
-                            metrics.counter("scheduler.rejected").inc()
-                    head = len(waiting)
-                    break
+                            args={"device": event.device})
+                    continue
+                # Permanent failure: the device's in-flight requests
+                # lose their KV caches and return to the queue head
+                # (original order), to re-run admission against the
+                # surviving capacity.
+                alive[event.device] = False
+                failed_at[event.device] = now
+                devices_failed += 1
+                victims = [r for r in running
+                           if r.device == event.device]
+                running = [r for r in running
+                           if r.device != event.device]
+                for victim in victims:
+                    kv_reserved[event.device] -= victim.kv_reserved
+                    heapq.heappush(free_slots, victim.slot)
+                waiting[head:head] = [
+                    (v.request, v.arrival_s, v.failovers + 1, now)
+                    for v in victims]
+                failover_events.append(FailoverEvent(
+                    at_s=now, device=event.device,
+                    requeued=len(victims)))
+                if faults is not None:
+                    faults.note_device_failure(requeued=len(victims))
+                if metrics.enabled:
+                    metrics.counter("scheduler.device_failures").inc()
+                    metrics.counter("scheduler.requeued").inc(
+                        len(victims))
+                if tracer.enabled:
+                    tracer.sim_span(
+                        "device_fail", start_s=now, dur_s=0.0,
+                        track="scheduler.faults", category="faults",
+                        args={"device": event.device,
+                              "requeued": len(victims)})
+            if not any(alive):
+                # Nothing left to serve on: reject the remaining
+                # work with the typed error instead of hanging.
+                for request, arrival, _fo, _rq in waiting[head:]:
+                    error = DeviceLostError(
+                        "all devices failed; serving capacity lost")
+                    rejected.append(RejectedRequest(
+                        request=request, arrival_s=arrival,
+                        reason=str(error), error=error))
+                    if metrics.enabled:
+                        metrics.counter("scheduler.rejected").inc()
+                head = len(waiting)
+                break
 
-                # -- admission: FCFS from the queue head ----------------
-                admitted: List[_Running] = []
-                while head < len(waiting) and waiting[head][1] <= now:
-                    request, arrival = waiting[head]
-                    error = infeasible_error(self.config,
-                                             self.memory_bytes, request)
-                    if error is not None:
-                        rejected.append(RejectedRequest(
-                            request=request, arrival_s=arrival,
-                            reason=str(error), error=error))
-                        head += 1
-                        if metrics.enabled:
-                            metrics.counter("scheduler.rejected").inc()
-                        continue
-                    peak = peak_kv_bytes(self.config, request.input_len,
-                                         request.output_len)
-                    device = self._pick_device(running, alive, kv_reserved)
-                    if device is None:
-                        break  # every surviving device at max_batch
-                    if kv_reserved[device] + peak > kv_budget:
-                        break  # no KV room: head-of-line waits
-                    if free_slots:
-                        slot = heapq.heappop(free_slots)
-                    else:
-                        slot = next_slot
-                        next_slot += 1
-                    entry = _Running(request=request, arrival_s=arrival,
-                                     admitted_s=now, kv_reserved=peak,
-                                     slot=slot, device=device)
-                    info = requeue_info.pop(id(request), None)
-                    if info is not None:
-                        entry.failovers = info[0]
-                        latency = now - info[1]
-                        failover_latencies.append(latency)
-                        if faults is not None:
-                            faults.note_failover_latency(latency)
-                        if metrics.enabled:
-                            metrics.counter(
-                                "scheduler.failover_readmits").inc()
-                    kv_reserved[device] += peak
-                    running.append(entry)
-                    admitted.append(entry)
+            # -- admission: FCFS from the queue head ----------------
+            admitted: List[_Running] = []
+            while head < len(waiting) and waiting[head][1] <= now:
+                request, arrival, fo, rq = waiting[head]
+                error = infeasible_error(self.config,
+                                         self.memory_bytes, request)
+                if error is not None:
+                    rejected.append(RejectedRequest(
+                        request=request, arrival_s=arrival,
+                        reason=str(error), error=error))
                     head += 1
                     if metrics.enabled:
-                        metrics.counter("scheduler.admitted").inc()
-
-                if not running:
-                    continue  # everything due by `now` was rejected
-
-                # -- one iteration: prefills, then one decode step per
-                #    device; the iteration ends at the slowest device --
-                start = now
-                iter_end = start
-                total_decodes = 0
-                for d in range(self.num_devices):
-                    if not alive[d]:
-                        continue
-                    dev_admitted = [e for e in admitted if e.device == d]
-                    decoders = [r for r in running
-                                if r.device == d and r not in admitted
-                                and not r.done]
-                    if not dev_admitted and not decoders:
-                        continue
-                    cursor = start
-                    if stall_pending[d]:
-                        cursor += stall_pending[d]  # transient stall tax
-                        stall_pending[d] = 0.0
-                    for entry in dev_admitted:
-                        cursor += self.step.prefill_s(
-                            entry.request.input_len)
-                        entry.generated = 1
-                        entry.first_token_s = cursor
-                    decode_s = 0.0
-                    if decoders:
-                        mean_ctx = int(math.ceil(
-                            sum(r.context_len for r in decoders)
-                            / len(decoders)))
-                        decode_s = self.step.decode_step_s(len(decoders),
-                                                           mean_ctx)
-                    end_d = cursor + decode_s
-                    for entry in decoders:
-                        entry.generated += 1
-                    total_decodes += len(decoders)
-                    iter_end = max(iter_end, end_d)
-                now = iter_end
-                iterations += 1
-                occupancy = len(running)
-                max_occupancy = max(max_occupancy, occupancy)
-                busy_s += now - start
-                occupancy_time_s += (now - start) * occupancy
-
-                # -- completions ----------------------------------------
-                still: List[_Running] = []
-                for entry in running:
-                    if not entry.done:
-                        still.append(entry)
-                        continue
-                    kv_reserved[entry.device] -= entry.kv_reserved
-                    heapq.heappush(free_slots, entry.slot)
-                    completed.append(CompletedRequest(
-                        request=entry.request,
-                        arrival_s=entry.arrival_s,
-                        start_s=entry.admitted_s,
-                        finish_s=now,
-                        first_token_s=entry.first_token_s,
-                        failovers=entry.failovers))
-                    if tracer.enabled:
-                        tracer.sim_span(
-                            "request", start_s=entry.admitted_s,
-                            dur_s=now - entry.admitted_s,
-                            track=f"scheduler.slot{entry.slot}",
-                            category="scheduler",
-                            args={"request_id": entry.request.request_id,
-                                  "queue_wait_s":
-                                      entry.admitted_s - entry.arrival_s,
-                                  "ttft_s": entry.first_token_s
-                                  - entry.arrival_s,
-                                  "output_tokens":
-                                      entry.request.output_len})
-                running = still
-
-                # -- observability (records only; never feeds back) -----
-                if tracer.enabled and iterations <= MAX_TRACED_ITERATIONS:
-                    tracer.sim_span(
-                        "batch_step", start_s=start, dur_s=now - start,
-                        track="scheduler.batch", category="scheduler",
-                        args={"iteration": iterations,
-                              "prefills": len(admitted),
-                              "decodes": total_decodes,
-                              "occupancy": occupancy,
-                              "kv_reserved_gb": sum(kv_reserved) / 1e9})
+                        metrics.counter("scheduler.rejected").inc()
+                    continue
+                peak = peak_kv_bytes(self.config, request.input_len,
+                                     request.output_len)
+                device = self._pick_device(running, alive, kv_reserved)
+                if device is None:
+                    break  # every surviving device at max_batch
+                if kv_reserved[device] + peak > kv_budget:
+                    break  # no KV room: head-of-line waits
+                if free_slots:
+                    slot = heapq.heappop(free_slots)
+                else:
+                    slot = next_slot
+                    next_slot += 1
+                entry = _Running(request=request, arrival_s=arrival,
+                                 admitted_s=now, kv_reserved=peak,
+                                 slot=slot, device=device,
+                                 failovers=fo, requeued_at=rq)
+                if rq is not None:
+                    latency = now - rq
+                    failover_latencies.append(latency)
+                    if faults is not None:
+                        faults.note_failover_latency(latency)
+                    if metrics.enabled:
+                        metrics.counter(
+                            "scheduler.failover_readmits").inc()
+                kv_reserved[device] += peak
+                running.append(entry)
+                admitted.append(entry)
+                head += 1
                 if metrics.enabled:
-                    metrics.gauge("scheduler.batch_occupancy").set(
-                        occupancy)
-                    metrics.counter("scheduler.decode_steps").inc(
-                        total_decodes)
-                    metrics.counter("scheduler.prefills").inc(
-                        len(admitted))
+                    metrics.counter("scheduler.admitted").inc()
 
-        if metrics.enabled:
-            for c in completed:
-                if c.ttft_s is not None:
-                    metrics.histogram("scheduler.ttft_s").observe(c.ttft_s)
-                if c.mean_tbt_s is not None:
-                    metrics.histogram("scheduler.tbt_s").observe(
-                        c.mean_tbt_s)
-                metrics.histogram("scheduler.latency_s").observe(
-                    c.total_latency_s)
+            if not running:
+                continue  # everything due by `now` was rejected
+
+            # -- one iteration: prefills, then one decode step per
+            #    device; the iteration ends at the slowest device --
+            start = now
+            iter_end = start
+            total_decodes = 0
+            dev_end: Dict[int, float] = {}
+            for d in range(self.num_devices):
+                if not alive[d]:
+                    continue
+                dev_admitted = [e for e in admitted if e.device == d]
+                decoders = [r for r in running
+                            if r.device == d and r not in admitted
+                            and not r.done]
+                if not dev_admitted and not decoders:
+                    continue
+                cursor = start
+                if stall_pending[d]:
+                    cursor += stall_pending[d]  # transient stall tax
+                    stall_pending[d] = 0.0
+                for entry in dev_admitted:
+                    cursor += self.step.prefill_s(
+                        entry.request.input_len)
+                    entry.generated = 1
+                    entry.first_token_s = cursor
+                decode_s = 0.0
+                if decoders:
+                    mean_ctx = int(math.ceil(
+                        sum(r.context_len for r in decoders)
+                        / len(decoders)))
+                    decode_s = self.step.decode_step_s(len(decoders),
+                                                       mean_ctx)
+                end_d = cursor + decode_s
+                dev_end[d] = end_d
+                for entry in decoders:
+                    entry.generated += 1
+                total_decodes += len(decoders)
+                busy_s += end_d - start
+                occupancy_time_s += (end_d - start) * sum(
+                    1 for r in running if r.device == d)
+                iter_end = max(iter_end, end_d)
+            now = iter_end
+            iterations += 1
+            occupancy = len(running)
+            max_occupancy = max(max_occupancy, occupancy)
+
+            # -- completions (at the finishing device's own end) ----
+            still: List[_Running] = []
+            for entry in running:
+                if not entry.done:
+                    still.append(entry)
+                    continue
+                finish = dev_end.get(entry.device, now)
+                kv_reserved[entry.device] -= entry.kv_reserved
+                heapq.heappush(free_slots, entry.slot)
+                completed.append(CompletedRequest(
+                    request=entry.request,
+                    arrival_s=entry.arrival_s,
+                    start_s=entry.admitted_s,
+                    finish_s=finish,
+                    first_token_s=entry.first_token_s,
+                    failovers=entry.failovers))
+                if tracer.enabled:
+                    tracer.sim_span(
+                        "request", start_s=entry.admitted_s,
+                        dur_s=finish - entry.admitted_s,
+                        track=f"scheduler.slot{entry.slot}",
+                        category="scheduler",
+                        args={"request_id": entry.request.request_id,
+                              "queue_wait_s":
+                                  entry.admitted_s - entry.arrival_s,
+                              "ttft_s": entry.first_token_s
+                              - entry.arrival_s,
+                              "output_tokens":
+                                  entry.request.output_len})
+            running = still
+
+            # -- observability (records only; never feeds back) -----
+            if tracer.enabled and iterations <= MAX_TRACED_ITERATIONS:
+                tracer.sim_span(
+                    "batch_step", start_s=start, dur_s=now - start,
+                    track="scheduler.batch", category="scheduler",
+                    args={"iteration": iterations,
+                          "prefills": len(admitted),
+                          "decodes": total_decodes,
+                          "occupancy": occupancy,
+                          "kv_reserved_gb": sum(kv_reserved) / 1e9})
+            if metrics.enabled:
+                metrics.gauge("scheduler.batch_occupancy").set(
+                    occupancy)
+                metrics.counter("scheduler.decode_steps").inc(
+                    total_decodes)
+                metrics.counter("scheduler.prefills").inc(
+                    len(admitted))
+
         makespan = max(c.finish_s for c in completed) if completed else 0.0
+        lost = sum(max(0.0, makespan - t) for t in failed_at
+                   if t is not None)
         return ContinuousBatchStats(
             completed=completed, makespan_s=makespan,
             num_instances=self.num_devices,
@@ -539,6 +643,7 @@ class ContinuousBatchScheduler:
             max_occupancy=max_occupancy, busy_s=busy_s,
             occupancy_time_s=occupancy_time_s,
             stall_s=stall_total_s, devices_failed=devices_failed,
+            lost_device_s=lost,
             failover_events=failover_events,
             failover_latencies_s=failover_latencies)
 
@@ -560,3 +665,491 @@ class ContinuousBatchScheduler:
             if best is None or kv_reserved[d] < kv_reserved[best]:
                 best = d
         return best
+
+
+# -- event-driven kernel ----------------------------------------------
+
+#: Heap-entry priorities: at equal timestamps a device's step completes
+#: (and its requests finish) before a fault at that instant strikes,
+#: and plain arrival wake-ups come last.
+_PRIO_STEP, _PRIO_FAULT, _PRIO_ARRIVAL = 0, 1, 2
+
+
+class _Device:
+    """One device's independent timeline inside the event kernel."""
+
+    __slots__ = ("index", "alive", "busy", "epoch", "batch", "kv_reserved",
+                 "stall_until", "failed_at", "unit_kind", "unit_start",
+                 "unit_end", "unit_steps", "unit_ends", "unit_prefills",
+                 "unit_decoders")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.alive = True
+        self.busy = False
+        self.epoch = 0           # invalidates stale step-complete events
+        self.batch: List[_Running] = []
+        self.kv_reserved = 0
+        self.stall_until = 0.0   # stalls elapse in simulated time
+        self.failed_at: Optional[float] = None
+        self.unit_kind = ""      # "iter" (prefills + 1 decode) | "decode"
+        self.unit_start = 0.0
+        self.unit_end = 0.0
+        self.unit_steps = 0
+        self.unit_ends: Optional[np.ndarray] = None
+        self.unit_prefills: Sequence[_Running] = ()
+        self.unit_decoders: Sequence[_Running] = ()
+
+
+class _EventKernel:
+    """Global event heap advancing every device at its own pace.
+
+    Three event kinds drive the simulation: request arrivals,
+    device-step completions, and scheduled device faults.  A device
+    with pending prefills runs one barrier-style iteration (prefill
+    block plus one decode step of the previous residents — the atomic
+    unit both kernels share); a device with only decoders runs a
+    *macro-step*: the whole cohort of decode steps up to its next
+    completion, priced in one vectorized call and truncated early only
+    if an admission lands on the device mid-flight or a fault is due.
+    """
+
+    def __init__(self, sched: ContinuousBatchScheduler,
+                 waiting: List[_QueueEntry], tracer, metrics, faults,
+                 events: Sequence[DeviceFaultEvent]) -> None:
+        self.sched = sched
+        self.step = sched.step
+        self.waiting = waiting
+        self.tracer = tracer
+        self.metrics = metrics
+        self.faults = faults
+        self.events = tuple(events)
+        self.kv_budget = kv_spare_bytes(sched.config, sched.memory_bytes)
+        self.devs = [_Device(d) for d in range(sched.num_devices)]
+        self.heap: List[tuple] = []
+        self.seq = itertools.count()
+        self.head = 0
+        self.fault_idx = 0
+        self.free_slots: List[int] = []
+        self.next_slot = 0
+        self.in_flight = 0
+        self.completed: List[CompletedRequest] = []
+        self.rejected: List[RejectedRequest] = []
+        self.failover_events: List[FailoverEvent] = []
+        self.failover_latencies: List[float] = []
+        self.iterations = 0
+        self.max_occupancy = 0
+        self.busy_s = 0.0
+        self.occupancy_time_s = 0.0
+        self.stall_total_s = 0.0
+        self.devices_failed = 0
+        self.units_traced = 0
+        self._arrival_key: Optional[Tuple[int, float]] = None
+
+    # -- event loop ----------------------------------------------------
+
+    def run(self) -> ContinuousBatchStats:
+        for idx, event in enumerate(self.events):
+            heapq.heappush(self.heap, (event.at_s, _PRIO_FAULT,
+                                       next(self.seq), idx, 0))
+        self._admit_and_start(0.0)
+        while self.heap or self.head < len(self.waiting):
+            if not self.heap:
+                # Only future arrivals remain; jump to the queue head.
+                arrival = self.waiting[self.head][1]
+                if not any(dev.busy for dev in self.devs):
+                    self._admit_and_start(arrival)
+                    if not self.heap \
+                            and self.head < len(self.waiting) \
+                            and self.waiting[self.head][1] <= arrival:
+                        raise SimulationError(
+                            "admission deadlock: waiting head can "
+                            "never be admitted")
+                    continue
+                raise SimulationError(  # pragma: no cover - invariant
+                    "busy device without a pending step event")
+            now, prio, _seq, a, b = heapq.heappop(self.heap)
+            if prio == _PRIO_STEP:
+                self._on_step_done(now, self.devs[a], b)
+            elif prio == _PRIO_FAULT:
+                self._on_fault(now, a)
+            else:
+                self._admit_and_start(now)  # arrival wake-up
+        makespan = max(c.finish_s for c in self.completed) \
+            if self.completed else 0.0
+        lost = sum(max(0.0, makespan - dev.failed_at)
+                   for dev in self.devs if dev.failed_at is not None)
+        return ContinuousBatchStats(
+            completed=self.completed, makespan_s=makespan,
+            num_instances=self.sched.num_devices,
+            rejected=self.rejected, num_iterations=self.iterations,
+            max_occupancy=self.max_occupancy, busy_s=self.busy_s,
+            occupancy_time_s=self.occupancy_time_s,
+            stall_s=self.stall_total_s,
+            devices_failed=self.devices_failed,
+            lost_device_s=lost,
+            failover_events=self.failover_events,
+            failover_latencies_s=self.failover_latencies)
+
+    # -- step planning -------------------------------------------------
+
+    def _next_fault_time(self) -> Optional[float]:
+        if self.fault_idx < len(self.events):
+            return self.events[self.fault_idx].at_s
+        return None
+
+    def _decode_run(self, batch: int, ctx0: int, k: int) -> np.ndarray:
+        """Durations of ``k`` consecutive decode steps, vectorized.
+
+        The mean context of an unchanged batch grows by exactly one
+        token per step, so the cohort is ``ctx0 .. ctx0+k-1``; step
+        models exposing ``decode_steps_s`` price it in one call.
+        """
+        steps = getattr(self.step, "decode_steps_s", None)
+        if steps is not None:
+            return np.asarray(
+                steps(batch, ctx0 + np.arange(k)), dtype=float)
+        return np.array([self.step.decode_step_s(batch, ctx0 + i)
+                         for i in range(k)], dtype=float)
+
+    def _start_unit(self, dev: _Device, now: float) -> None:
+        """Plan the device's next unit and schedule its completion."""
+        prefills = [e for e in dev.batch if e.generated == 0]
+        decoders = [e for e in dev.batch
+                    if e.generated > 0 and not e.done]
+        if not prefills and not decoders:
+            return
+        start = max(now, dev.stall_until)
+        if prefills:
+            # Barrier-style iteration: prefill block plus one decode
+            # step of the previous residents (atomic, like one
+            # iteration of the legacy kernel).
+            cursor = start
+            for e in prefills:
+                cursor += self.step.prefill_s(e.request.input_len)
+                e.admitted_s = start  # service begins at unit start
+                e.first_token_s = cursor
+            decode_s = 0.0
+            if decoders:
+                mean_ctx = int(math.ceil(
+                    sum(e.context_len for e in decoders)
+                    / len(decoders)))
+                decode_s = self.step.decode_step_s(len(decoders),
+                                                   mean_ctx)
+            dev.unit_kind = "iter"
+            dev.unit_steps = 1
+            dev.unit_ends = None
+            dev.unit_end = cursor + decode_s
+        else:
+            # Macro-step: the whole cohort of decode steps up to the
+            # batch's next completion, bounded by the next scheduled
+            # fault so stalls/failures strike at a step boundary.
+            n = len(decoders)
+            k = min(e.request.output_len - e.generated
+                    for e in decoders)
+            ctx0 = int(math.ceil(
+                sum(e.context_len for e in decoders) / n))
+            if k == 1:
+                dev.unit_ends = None
+                dev.unit_end = start + self.step.decode_step_s(n, ctx0)
+            else:
+                durs = self._decode_run(n, ctx0, k)
+                # Sequential cumulative sum from `start`, so step
+                # boundaries are bit-identical to the one-step-at-a-
+                # time barrier arithmetic.
+                ends = np.cumsum(
+                    np.concatenate(((start,), durs)))[1:]
+                next_fault = self._next_fault_time()
+                if next_fault is not None \
+                        and next_fault < float(ends[-1]):
+                    j = int(np.searchsorted(ends, next_fault,
+                                            side="left"))
+                    k = min(k, j + 1)
+                    ends = ends[:k]
+                dev.unit_ends = ends
+                dev.unit_end = float(ends[-1])
+            dev.unit_kind = "decode"
+            dev.unit_steps = k
+        dev.unit_start = start
+        dev.unit_prefills = prefills
+        dev.unit_decoders = decoders
+        dev.busy = True
+        dev.epoch += 1
+        heapq.heappush(self.heap, (dev.unit_end, _PRIO_STEP,
+                                   next(self.seq), dev.index, dev.epoch))
+
+    def _truncate_unit(self, dev: _Device, now: float) -> None:
+        """Cut an in-flight macro-step at its next boundary >= now.
+
+        Called when an admission lands on a busy device: the new
+        request's prefill can begin at the device's next decode-step
+        boundary instead of waiting out the whole macro-step.
+        Prefill-bearing units are atomic (as in the barrier kernel).
+        """
+        if not dev.busy or dev.unit_kind != "decode" \
+                or dev.unit_ends is None:
+            return
+        ends = dev.unit_ends
+        j = int(np.searchsorted(ends, now, side="left"))
+        if j + 1 >= len(ends):
+            return  # already ends at the next boundary
+        dev.unit_steps = j + 1
+        dev.unit_ends = ends[:j + 1]
+        dev.unit_end = float(ends[j])
+        dev.epoch += 1
+        heapq.heappush(self.heap, (dev.unit_end, _PRIO_STEP,
+                                   next(self.seq), dev.index, dev.epoch))
+
+    # -- event handlers ------------------------------------------------
+
+    def _on_step_done(self, now: float, dev: _Device, epoch: int) -> None:
+        if epoch != dev.epoch or not dev.busy:
+            return  # stale event: unit was truncated or cancelled
+        dev.busy = False
+        # Occupancy is charged for the unit's members (the batch as of
+        # unit start); requests admitted mid-unit hold KV but only
+        # occupy a batch slot from their own first unit on.
+        occupancy = len(dev.unit_prefills) + len(dev.unit_decoders)
+        k = dev.unit_steps
+        decoders = dev.unit_decoders
+        if dev.unit_kind == "iter":
+            for e in dev.unit_prefills:
+                e.generated = 1
+            for e in decoders:
+                e.generated += 1
+            self.busy_s += now - dev.unit_start
+            self.occupancy_time_s += (now - dev.unit_start) * occupancy
+            total_decodes = len(decoders)
+        else:
+            for e in decoders:
+                e.generated += k
+            # Per-boundary accumulation matches the barrier kernel's
+            # iteration-by-iteration float arithmetic exactly.
+            prev = dev.unit_start
+            ends = dev.unit_ends if dev.unit_ends is not None \
+                else (dev.unit_end,)
+            for boundary in ends:
+                boundary = float(boundary)
+                self.busy_s += boundary - prev
+                self.occupancy_time_s += (boundary - prev) * occupancy
+                prev = boundary
+            total_decodes = len(decoders) * k
+        self.iterations += k
+        if self.max_occupancy < self.in_flight:
+            self.max_occupancy = self.in_flight
+        self._complete_done(dev, now)
+        if self.tracer.enabled \
+                and self.units_traced < MAX_TRACED_ITERATIONS:
+            self.units_traced += 1
+            self.tracer.sim_span(
+                "batch_step", start_s=dev.unit_start,
+                dur_s=now - dev.unit_start,
+                track=f"scheduler.dev{dev.index}", category="scheduler",
+                args={"device": dev.index, "steps": k,
+                      "prefills": len(dev.unit_prefills),
+                      "decodes": total_decodes,
+                      "occupancy": occupancy,
+                      "kv_reserved_gb": dev.kv_reserved / 1e9})
+        if self.metrics.enabled:
+            self.metrics.gauge("scheduler.batch_occupancy").set(
+                occupancy)
+            self.metrics.counter("scheduler.decode_steps").inc(
+                total_decodes)
+            self.metrics.counter("scheduler.prefills").inc(
+                len(dev.unit_prefills))
+        dev.unit_prefills = ()
+        dev.unit_decoders = ()
+        dev.unit_ends = None
+        self._admit_and_start(now)
+
+    def _complete_done(self, dev: _Device, now: float) -> None:
+        done = [e for e in dev.batch if e.done]
+        if not done:
+            return
+        dev.batch = [e for e in dev.batch if not e.done]
+        for entry in done:
+            dev.kv_reserved -= entry.kv_reserved
+            heapq.heappush(self.free_slots, entry.slot)
+            self.in_flight -= 1
+            self.completed.append(CompletedRequest(
+                request=entry.request,
+                arrival_s=entry.arrival_s,
+                start_s=entry.admitted_s,
+                finish_s=now,
+                first_token_s=entry.first_token_s,
+                failovers=entry.failovers))
+            if self.tracer.enabled:
+                self.tracer.sim_span(
+                    "request", start_s=entry.admitted_s,
+                    dur_s=now - entry.admitted_s,
+                    track=f"scheduler.slot{entry.slot}",
+                    category="scheduler",
+                    args={"request_id": entry.request.request_id,
+                          "queue_wait_s":
+                              entry.admitted_s - entry.arrival_s,
+                          "ttft_s": entry.first_token_s
+                          - entry.arrival_s,
+                          "output_tokens": entry.request.output_len})
+
+    def _on_fault(self, now: float, idx: int) -> None:
+        event = self.events[idx]
+        self.fault_idx = idx + 1
+        if event.device >= len(self.devs):
+            self._admit_and_start(now)
+            return  # unmapped device
+        dev = self.devs[event.device]
+        if not dev.alive:
+            self._admit_and_start(now)
+            return
+        if event.kind is DeviceFaultKind.STALL:
+            # The stall elapses in simulated time starting now (or at
+            # the end of the step in flight); a stall fully absorbed by
+            # idle time delays nobody.
+            base = dev.unit_end if dev.busy \
+                else max(now, dev.stall_until)
+            dev.stall_until = base + event.duration_s
+            self.stall_total_s += event.duration_s
+            if self.faults is not None:
+                self.faults.note_stall(event.duration_s)
+            if self.metrics.enabled:
+                self.metrics.counter("scheduler.device_stalls").inc()
+            if self.tracer.enabled:
+                self.tracer.sim_span(
+                    "device_stall", start_s=base,
+                    dur_s=event.duration_s,
+                    track="scheduler.faults", category="faults",
+                    args={"device": event.device})
+            self._admit_and_start(now)
+            return
+        # Permanent failure at its true time: the step in flight is
+        # cancelled, in-flight requests lose their KV caches and return
+        # to the queue head (original order) to re-run admission
+        # against the surviving capacity.
+        dev.alive = False
+        dev.failed_at = now
+        self.devices_failed += 1
+        if dev.busy:
+            dev.busy = False
+            dev.epoch += 1  # invalidate the pending step event
+            dev.unit_prefills = ()
+            dev.unit_decoders = ()
+            dev.unit_ends = None
+        victims = dev.batch
+        dev.batch = []
+        for victim in victims:
+            dev.kv_reserved -= victim.kv_reserved
+            heapq.heappush(self.free_slots, victim.slot)
+            self.in_flight -= 1
+        self.waiting[self.head:self.head] = [
+            (v.request, v.arrival_s, v.failovers + 1, now)
+            for v in victims]
+        self.failover_events.append(FailoverEvent(
+            at_s=now, device=event.device, requeued=len(victims)))
+        if self.faults is not None:
+            self.faults.note_device_failure(requeued=len(victims))
+        if self.metrics.enabled:
+            self.metrics.counter("scheduler.device_failures").inc()
+            self.metrics.counter("scheduler.requeued").inc(len(victims))
+        if self.tracer.enabled:
+            self.tracer.sim_span(
+                "device_fail", start_s=now, dur_s=0.0,
+                track="scheduler.faults", category="faults",
+                args={"device": event.device,
+                      "requeued": len(victims)})
+        if not any(d.alive for d in self.devs):
+            for request, arrival, _fo, _rq in self.waiting[self.head:]:
+                error = DeviceLostError(
+                    "all devices failed; serving capacity lost")
+                self.rejected.append(RejectedRequest(
+                    request=request, arrival_s=arrival,
+                    reason=str(error), error=error))
+                if self.metrics.enabled:
+                    self.metrics.counter("scheduler.rejected").inc()
+            self.head = len(self.waiting)
+            self.heap.clear()
+            return
+        self._admit_and_start(now)
+
+    # -- admission -----------------------------------------------------
+
+    def _pick_device(self) -> Optional[_Device]:
+        """Least-reserved surviving device with a batch slot, or None."""
+        max_batch = self.sched.max_batch
+        best: Optional[_Device] = None
+        for dev in self.devs:
+            if not dev.alive:
+                continue
+            if max_batch is not None and len(dev.batch) >= max_batch:
+                continue
+            if best is None or dev.kv_reserved < best.kv_reserved:
+                best = dev
+        return best
+
+    def _admit_and_start(self, now: float) -> None:
+        """Admit from the queue head, then kick every idle device.
+
+        Admission happens at the event's true time: the KV reservation
+        is taken immediately, and if the target device is mid
+        macro-step the step is truncated so the prefill begins at the
+        next decode boundary.
+        """
+        sched = self.sched
+        waiting = self.waiting
+        metrics = self.metrics
+        while self.head < len(waiting):
+            request, arrival, fo, rq = waiting[self.head]
+            if arrival > now:
+                break
+            error = infeasible_error(sched.config, sched.memory_bytes,
+                                     request)
+            if error is not None:
+                self.rejected.append(RejectedRequest(
+                    request=request, arrival_s=arrival,
+                    reason=str(error), error=error))
+                self.head += 1
+                if metrics.enabled:
+                    metrics.counter("scheduler.rejected").inc()
+                continue
+            peak = peak_kv_bytes(sched.config, request.input_len,
+                                 request.output_len)
+            dev = self._pick_device()
+            if dev is None:
+                break  # every surviving device at max_batch
+            if dev.kv_reserved + peak > self.kv_budget:
+                break  # no KV room: head-of-line waits
+            if self.free_slots:
+                slot = heapq.heappop(self.free_slots)
+            else:
+                slot = self.next_slot
+                self.next_slot += 1
+            entry = _Running(request=request, arrival_s=arrival,
+                             admitted_s=now, kv_reserved=peak,
+                             slot=slot, device=dev.index,
+                             failovers=fo, requeued_at=rq)
+            if rq is not None:
+                latency = now - rq
+                self.failover_latencies.append(latency)
+                if self.faults is not None:
+                    self.faults.note_failover_latency(latency)
+                if metrics.enabled:
+                    metrics.counter("scheduler.failover_readmits").inc()
+            dev.kv_reserved += peak
+            dev.batch.append(entry)
+            self.head += 1
+            self.in_flight += 1
+            if self.max_occupancy < self.in_flight:
+                self.max_occupancy = self.in_flight
+            if metrics.enabled:
+                metrics.counter("scheduler.admitted").inc()
+            if dev.busy:
+                self._truncate_unit(dev, now)
+        for dev in self.devs:
+            if dev.alive and not dev.busy and dev.batch:
+                self._start_unit(dev, now)
+        # Wake up when the (future) queue head arrives, if any.
+        if self.head < len(waiting) and waiting[self.head][1] > now:
+            key = (self.head, waiting[self.head][1])
+            if key != self._arrival_key:
+                self._arrival_key = key
+                heapq.heappush(self.heap, (key[1], _PRIO_ARRIVAL,
+                                           next(self.seq), -1, 0))

@@ -9,10 +9,13 @@ Commands:
 * ``platform`` — the CXL-PNM platform summary (Tables I/II headline).
 * ``estimate <model> [--in N] [--out N]`` — single-device latency/energy
   for a zoo model on CXL-PNM and an A100.
-* ``serve <model> [--device pnm|gpu] [--engine both|fcfs|continuous]``
-  — open-loop Poisson serving simulation comparing FCFS-exclusive
-  dispatch with the continuous-batching engine (KV admission control,
-  TTFT/TBT percentiles).
+* ``serve <model> [--device pnm|gpu] [--engine both|fcfs|continuous]
+  [--devices N] [--kernel event|barrier]`` — open-loop Poisson serving
+  simulation comparing FCFS-exclusive dispatch with the
+  continuous-batching engine (KV admission control, TTFT/TBT
+  percentiles); ``--devices`` replicates the model for appliance DP and
+  ``--kernel`` selects the event-driven kernel (default) or the legacy
+  lock-step barrier for A/B comparison.
 * ``chaos [--crc-rate R] [--fail AT:DEV] ...`` — fault-injection run
   (``repro.faults``): generation, CXL readback, and multi-device
   serving under a seeded fault schedule, reporting corrected /
@@ -200,8 +203,11 @@ def _cmd_serve(args) -> int:
         else:
             step = BatchStepTimer(config, perf)
         engine = ContinuousBatchScheduler(
-            step, config, memory, max_batch=args.max_batch)
-        runs.append(("continuous", engine.run(requests, arrivals)))
+            step, config, memory, max_batch=args.max_batch,
+            num_devices=args.devices, engine=args.kernel)
+        name = "continuous" if args.devices == 1 \
+            else f"continuous x{args.devices}"
+        runs.append((name, engine.run(requests, arrivals)))
     print(f"{config.name} on {perf.name}: {len(requests)} requests "
           f"({args.input_tokens} in / {args.output_tokens} out), "
           f"Poisson {rate:.3f} req/s, memory {memory / 1e9:.0f} GB")
@@ -403,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--in", dest="input_tokens", type=int, default=64)
     serve.add_argument("--out", dest="output_tokens", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=None)
+    serve.add_argument("--devices", type=int, default=1,
+                       help="model replicas for the continuous engine "
+                            "(appliance data parallelism)")
+    serve.add_argument("--kernel", choices=["event", "barrier"],
+                       default="event",
+                       help="continuous-engine kernel: event-driven "
+                            "(default) or the legacy lock-step barrier")
     serve.add_argument("--step-model", choices=["analytical", "sim"],
                        default="analytical",
                        help="continuous-batching step costs: analytical "

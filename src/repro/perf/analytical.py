@@ -346,3 +346,27 @@ class BatchStepTimer:
                 + self.comm(batch)
             self._decode_cache[key] = cached
         return cached
+
+    def decode_steps_s(self, batch: int,
+                       context_lens: Sequence[int]) -> np.ndarray:
+        """Seconds for a cohort of decode steps at one batch size.
+
+        Vectorized companion to :meth:`decode_step_s` for the event
+        kernel's macro-steps: quantization happens in one numpy pass,
+        the underlying cost model is consulted once per *unique*
+        quantized context (at most ``len(context_lens) //
+        context_quantum + 1`` times for a consecutive run), and each
+        returned element is bit-identical to the scalar call.
+        """
+        ctxs = np.asarray(context_lens, dtype=np.int64)
+        if ctxs.size == 0:
+            return np.empty(0, dtype=float)
+        if batch < 1 or int(ctxs.min()) < 1:
+            raise ConfigurationError("batch and context must be >= 1")
+        q = self.context_quantum
+        quantized = np.minimum(-(ctxs // -q) * q,
+                               np.maximum(ctxs, self.config.max_seq_len))
+        uniques, inverse = np.unique(quantized, return_inverse=True)
+        costs = np.array([self.decode_step_s(batch, int(u))
+                          for u in uniques], dtype=float)
+        return costs[inverse]

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.accelerator import isa
 from repro.accelerator.device import CXLPNMDevice
 from repro.errors import ConfigurationError, SimulationError
@@ -383,3 +385,27 @@ class SimulatedStepTimer:
             cached = self.simulator.run(program).total_time_s
             self._decode_cache[key] = cached
         return cached
+
+    def decode_steps_s(self, batch: int,
+                       context_lens: Sequence[int]) -> np.ndarray:
+        """Seconds for a cohort of decode steps at one batch size.
+
+        Vectorized companion to :meth:`decode_step_s` for the event
+        kernel's macro-steps: contexts are quantized in one numpy
+        pass and the simulator prices each *unique* quantized context
+        once (the simulator's own ``timing_key`` duration cache makes
+        repeats across calls cheap too).  Each element is
+        bit-identical to the scalar call.
+        """
+        ctxs = np.asarray(context_lens, dtype=np.int64)
+        if ctxs.size == 0:
+            return np.empty(0, dtype=float)
+        if batch < 1 or int(ctxs.min()) < 1:
+            raise ConfigurationError("batch and context must be >= 1")
+        q = self.context_quantum
+        quantized = np.minimum(-(ctxs // -q) * q,
+                               np.maximum(ctxs, self.config.max_seq_len))
+        uniques, inverse = np.unique(quantized, return_inverse=True)
+        costs = np.array([self.decode_step_s(batch, int(u))
+                          for u in uniques], dtype=float)
+        return costs[inverse]

@@ -242,7 +242,10 @@ class TestObservability:
         stats = self._run(tracer=tracer)
         sims = [s for s in tracer.spans if s.clock == "sim"]
         steps = [s for s in sims if s.name == "batch_step"]
-        assert len(steps) == stats.num_iterations
+        # The event kernel emits one span per device unit; a unit
+        # covers `steps` decode iterations (macro-steps bundle several).
+        assert sum(s.args["steps"] for s in steps) == stats.num_iterations
+        assert all(s.track.startswith("scheduler.dev") for s in steps)
         request_spans = [s for s in sims if s.name == "request"]
         assert len(request_spans) == len(stats.completed)
         assert all(s.track.startswith("scheduler.slot")
