@@ -17,8 +17,7 @@ results:
 
 The record's ``wall_s`` is the wall-clock cost of simulating the whole
 stream (the acceptance bar: >=100k requests on >=8 devices in under two
-minutes); ``ab_speedup_wall`` compares the event kernel against the
-legacy barrier kernel on a smaller identical stream.
+minutes).
 """
 
 from __future__ import annotations
@@ -83,12 +82,12 @@ def test_serve_continuous_batching(benchmark):
     assert stats.throughput_tokens_per_s > fcfs.throughput_tokens_per_s
 
 
-def _serve(requests, arrivals, devices, max_batch, engine):
+def _serve(requests, arrivals, devices, max_batch):
     """One timed run; returns (wall_seconds, stats)."""
     scheduler = ContinuousBatchScheduler(
         BatchStepTimer(OPT_13B, _PERF), OPT_13B,
         _DEVICE.memory_capacity, max_batch=max_batch,
-        num_devices=devices, engine=engine)
+        num_devices=devices)
     start = time.perf_counter()
     stats = scheduler.run(requests, arrivals)
     return time.perf_counter() - start, stats
@@ -102,9 +101,6 @@ def main(argv=None) -> int:
                         help="model replicas (default 8)")
     parser.add_argument("--max-batch", type=int, default=64,
                         help="per-device batch cap (default 64)")
-    parser.add_argument("--ab-requests", type=int, default=20_000,
-                        help="stream length of the event-vs-barrier "
-                             "wall-clock comparison (default 2000)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", type=Path, default=RESULTS,
                         help=f"JSON output path (default {RESULTS})")
@@ -121,7 +117,7 @@ def main(argv=None) -> int:
     arrivals = poisson_arrivals(len(requests), rate, seed=args.seed)
 
     wall_s, stats = _serve(requests, arrivals, args.devices,
-                           args.max_batch, "event")
+                           args.max_batch)
     tokens = sum(c.request.total_tokens for c in stats.completed)
     print(f"event kernel: {args.requests} requests x {args.devices} "
           f"devices in {wall_s:.1f} s wall "
@@ -129,21 +125,6 @@ def main(argv=None) -> int:
           f"{stats.num_iterations} decode iterations, "
           f"sim makespan {stats.makespan_s:.0f} s, "
           f"{stats.throughput_tokens_per_s:.0f} sim tok/s)")
-
-    ab_requests = sampled_workload(args.ab_requests, seed=args.seed,
-                                   max_total=OPT_13B.max_seq_len)
-    ab_arrivals = poisson_arrivals(len(ab_requests), rate,
-                                   seed=args.seed)
-    event_s, event_stats = _serve(ab_requests, ab_arrivals,
-                                  args.devices, args.max_batch, "event")
-    barrier_s, barrier_stats = _serve(ab_requests, ab_arrivals,
-                                      args.devices, args.max_batch,
-                                      "barrier")
-    ab_speedup = barrier_s / event_s
-    print(f"A/B at {args.ab_requests} requests: event {event_s:.2f} s, "
-          f"barrier {barrier_s:.2f} s wall -> {ab_speedup:.1f}x; "
-          f"event mean latency {event_stats.mean_latency_s:.2f} s vs "
-          f"barrier {barrier_stats.mean_latency_s:.2f} s")
 
     record = {
         "benchmark": "event_kernel_serving",
@@ -159,10 +140,6 @@ def main(argv=None) -> int:
         "sim_makespan_s": stats.makespan_s,
         "sim_throughput_tok_s": stats.throughput_tokens_per_s,
         "sim_tokens": tokens,
-        "ab_requests": args.ab_requests,
-        "ab_event_wall_s": event_s,
-        "ab_barrier_wall_s": barrier_s,
-        "ab_speedup_wall": ab_speedup,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(record, indent=2) + "\n")

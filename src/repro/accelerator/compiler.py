@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.accelerator import isa
 from repro.accelerator.memory import DeviceMemory, Region
@@ -38,6 +40,34 @@ from repro.llm.reference import LN_EPS, ModelWeights
 #: multiples of it functionally, but the timing model rounds tiles up.
 TILE_DIM = 128
 
+#: Per-layer weight matrices the int8 quantizing loader compresses (the
+#: streamed GEMV/GEMM operands that dominate gen-stage bandwidth).
+#: Embeddings, biases, LayerNorm parameters, and the KV caches stay at
+#: the full functional width.
+_QUANTIZED_SUFFIXES = ("w_qkv", "w_proj", "w_fc1", "w_fc2")
+
+
+def _is_quantized_weight(name: str) -> bool:
+    return name == "lm_head" or name.rsplit(".", 1)[-1] in _QUANTIZED_SUFFIXES
+
+
+def quantize_per_channel(tensor: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-output-channel int8 quantization of a ``[k, n]``
+    weight matrix.
+
+    Returns ``(codes, scales)``: ``codes`` holds integral values in
+    ``[-127, 127]`` (kept in a float32 array because device memory is
+    functionally fp32), ``scales`` the per-column dequantization factor
+    such that ``codes * scales`` approximates ``tensor`` with at most
+    half a quantization step of error per element.
+    """
+    tensor = np.asarray(tensor, dtype=np.float32)
+    scales = np.max(np.abs(tensor), axis=0) / np.float32(127.0)
+    scales = np.where(scales > 0, scales, np.float32(1.0)).astype(np.float32)
+    codes = np.clip(np.rint(tensor / scales), -127, 127).astype(np.float32)
+    return codes, scales
+
 
 @dataclass(frozen=True)
 class ModelLayout:
@@ -46,10 +76,13 @@ class ModelLayout:
     Attributes:
         config: The model architecture.
         regions: Tensor name -> allocated region (weights, caches, I/O).
+        quantize: ``"int8"`` when the loader stored quantized weight
+            codes plus per-channel ``<name>.scale`` regions, else None.
     """
 
     config: LLMConfig
     regions: Dict[str, Region]
+    quantize: Optional[str] = field(default=None)
 
     def addr(self, name: str) -> int:
         try:
@@ -66,17 +99,32 @@ class ModelLayout:
         return self.regions["input_buffer"]
 
 
-def load_model(memory: DeviceMemory, weights: ModelWeights) -> ModelLayout:
+def load_model(memory: DeviceMemory, weights: ModelWeights,
+               quantize: Optional[str] = None) -> ModelLayout:
     """Write a model's parameters into device memory and build its layout.
 
     Also allocates the per-layer KV-cache regions (``max_seq_len`` rows
     each, the aggregated K and V matrices of §II-B) and the designated
     input/output buffers the driver exposes (§VI step 2/3).
+
+    ``quantize="int8"`` runs the quantizing pass at load time: each
+    streamed weight matrix (per-layer QKV/projection/FFN and the LM
+    head) is stored as integral int8 codes with a ``<name>.scale``
+    region of per-output-channel dequantization scales alongside.
     """
+    if quantize not in (None, "int8"):
+        raise ConfigurationError(
+            f"unknown quantize mode {quantize!r} (expected None or 'int8')")
     config = weights.config
     regions: Dict[str, Region] = {}
     for name, tensor in weights.named_tensors().items():
-        regions[name] = memory.store_named(name, tensor)
+        if quantize == "int8" and _is_quantized_weight(name):
+            codes, scales = quantize_per_channel(tensor)
+            regions[name] = memory.store_named(name, codes)
+            scale_name = name + ".scale"
+            regions[scale_name] = memory.store_named(scale_name, scales)
+        else:
+            regions[name] = memory.store_named(name, tensor)
     for i in range(config.num_layers):
         for which in ("kcache", "vcache"):
             name = f"layer{i}.{which}"
@@ -89,26 +137,67 @@ def load_model(memory: DeviceMemory, weights: ModelWeights) -> ModelLayout:
     # historical 8-slot buffer.
     regions["output_buffer"] = memory.alloc_tensor(
         "output_buffer", (max(8, config.max_seq_len),))
-    return ModelLayout(config=config, regions=regions)
+    return ModelLayout(config=config, regions=regions, quantize=quantize)
 
 
 class StageCompiler:
-    """Emits acceleration code for one inference stage."""
+    """Emits acceleration code for one inference stage.
 
-    def __init__(self, layout: ModelLayout):
+    ``quantize="int8"`` emits int8 GEMV/GEMM with fused dequant+bias
+    against a layout built by ``load_model(..., quantize="int8")``
+    (the compiler needs the ``<name>.scale`` regions); by default it
+    inherits the layout's own quantization mode.
+    """
+
+    def __init__(self, layout: ModelLayout,
+                 quantize: Optional[str] = None):
         self.layout = layout
         self.config = layout.config
+        if quantize is None:
+            quantize = layout.quantize
+        if quantize not in (None, "int8"):
+            raise ConfigurationError(
+                f"unknown quantize mode {quantize!r} "
+                f"(expected None or 'int8')")
+        if quantize == "int8" and "lm_head.scale" not in layout.regions:
+            raise ConfigurationError(
+                "quantize='int8' needs a layout with per-channel scale "
+                "regions (load the model with quantize='int8')")
+        self.quantize = quantize
 
     def _matmul(self, out: str, act: str, weight: str, m: int, k: int,
-                n: int, code: List[isa.Instruction]) -> None:
-        """GEMM on the PE array for multi-token rows, GEMV otherwise."""
-        addr = self.layout.addr(weight)
+                n: int, code: List[isa.Instruction],
+                bias: Optional[str] = None) -> None:
+        """GEMM on the PE array for multi-token rows, GEMV otherwise.
+
+        In int8 mode the per-channel scales stream from the weight's
+        ``.scale`` region and ``bias`` (when given) is fused into the
+        matmul's dequantizing writeback; in fp16 mode the bias stays a
+        separate ``VPU_BIAS``, so unquantized programs are bit-identical
+        to the historical emission.
+        """
+        waddr = self.layout.addr(weight)
+        if self.quantize == "int8":
+            scale = self.layout.addr(weight + ".scale")
+            baddr = self.layout.addr(bias) if bias is not None else -1
+            if m > 1:
+                code.append(isa.MpuMmPea(
+                    dst=out, act=act, weight_addr=waddr, m=m, k=k, n=n,
+                    dtype="int8", scale_addr=scale, bias_addr=baddr))
+            else:
+                code.append(isa.MpuMv(
+                    dst=out, act=act, weight_addr=waddr, k=k, n=n,
+                    dtype="int8", scale_addr=scale, bias_addr=baddr))
+            return
         if m > 1:
-            code.append(isa.MpuMmPea(dst=out, act=act, weight_addr=addr,
+            code.append(isa.MpuMmPea(dst=out, act=act, weight_addr=waddr,
                                      m=m, k=k, n=n))
         else:
-            code.append(isa.MpuMv(dst=out, act=act, weight_addr=addr,
+            code.append(isa.MpuMv(dst=out, act=act, weight_addr=waddr,
                                   k=k, n=n))
+        if bias is not None:
+            code.append(isa.VpuBias(dst=out, src=out,
+                                    bias_addr=self.layout.addr(bias), n=n))
 
     def _layer(self, x: str, layer_idx: int, m: int, ctx_prev: int,
                regs: RegisterAllocator, code: List[isa.Instruction]) -> str:
@@ -125,9 +214,8 @@ class StageCompiler:
                                      beta_addr=addr(prefix + "ln1_beta"),
                                      n=d, eps=LN_EPS))
         qkv = regs.matrix()
-        self._matmul(qkv, h, prefix + "w_qkv", m, d, 3 * d, code)
-        code.append(isa.VpuBias(dst=qkv, src=qkv,
-                                bias_addr=addr(prefix + "b_qkv"), n=3 * d))
+        self._matmul(qkv, h, prefix + "w_qkv", m, d, 3 * d, code,
+                     bias=prefix + "b_qkv")
         q, k_new, v_new = regs.matrix(), regs.matrix(), regs.matrix()
         code.append(isa.VpuSlice(dst=q, src=qkv, start=0, stop=d))
         code.append(isa.VpuSlice(dst=k_new, src=qkv, start=d, stop=2 * d))
@@ -153,9 +241,8 @@ class StageCompiler:
             dst=attn, probs=probs, v_addr=addr(prefix + "vcache"),
             heads=heads, head_dim=hd, ctx=ctx, m=m))
         proj = regs.matrix()
-        self._matmul(proj, attn, prefix + "w_proj", m, d, d, code)
-        code.append(isa.VpuBias(dst=proj, src=proj,
-                                bias_addr=addr(prefix + "b_proj"), n=d))
+        self._matmul(proj, attn, prefix + "w_proj", m, d, d, code,
+                     bias=prefix + "b_proj")
         x2 = regs.matrix()
         code.append(isa.VpuAdd(dst=x2, a=x, b=proj))
         code.append(isa.Free(regs=(h, qkv, q, k_new, v_new, scores, rowmax,
@@ -167,15 +254,13 @@ class StageCompiler:
                                      beta_addr=addr(prefix + "ln2_beta"),
                                      n=d, eps=LN_EPS))
         f1 = regs.matrix()
-        self._matmul(f1, h2, prefix + "w_fc1", m, d, dff, code)
-        code.append(isa.VpuBias(dst=f1, src=f1,
-                                bias_addr=addr(prefix + "b_fc1"), n=dff))
+        self._matmul(f1, h2, prefix + "w_fc1", m, d, dff, code,
+                     bias=prefix + "b_fc1")
         g = regs.matrix()
         code.append(isa.VpuGelu(dst=g, src=f1))
         f2 = regs.matrix()
-        self._matmul(f2, g, prefix + "w_fc2", m, dff, d, code)
-        code.append(isa.VpuBias(dst=f2, src=f2,
-                                bias_addr=addr(prefix + "b_fc2"), n=d))
+        self._matmul(f2, g, prefix + "w_fc2", m, dff, d, code,
+                     bias=prefix + "b_fc2")
         x3 = regs.matrix()
         code.append(isa.VpuAdd(dst=x3, a=x2, b=f2))
         code.append(isa.Free(regs=(h2, f1, g, f2, x2)))
@@ -227,9 +312,8 @@ class StageCompiler:
                                      beta_addr=addr("ln_f_beta"),
                                      n=cfg.d_model, eps=LN_EPS))
         logits = regs.matrix()
-        code.append(isa.MpuMv(dst=logits, act=final,
-                              weight_addr=addr("lm_head"),
-                              k=cfg.d_model, n=cfg.vocab_size))
+        self._matmul(logits, final, "lm_head", 1, cfg.d_model,
+                     cfg.vocab_size, code)
         token_reg = regs.scalar()
         code.append(isa.VpuArgmax(dst=token_reg, src=logits))
         code.append(isa.DmaStore(src=token_reg,
@@ -435,7 +519,8 @@ class ProgramCache:
         return self.stage((token,), ctx_prev=context_len - 1)
 
 
-def _fake_layout(config: LLMConfig) -> ModelLayout:
+def _fake_layout(config: LLMConfig,
+                 quantize: Optional[str] = None) -> ModelLayout:
     """A layout with correctly-sized regions but no backing memory."""
     regions: Dict[str, Region] = {}
     cursor = 0
@@ -445,52 +530,66 @@ def _fake_layout(config: LLMConfig) -> ModelLayout:
         regions[name] = Region(name=name, addr=cursor, nbytes=elems * 4)
         cursor += elems * 4
 
+    def weight(name: str, elems: int, n: int) -> None:
+        fake(name, elems)
+        if quantize == "int8":
+            fake(name + ".scale", n)
+
     d, dff, vocab = config.d_model, config.d_ff, config.vocab_size
     fake("token_embedding", vocab * d)
     fake("position_embedding", config.max_seq_len * d)
     for i in range(config.num_layers):
         p = f"layer{i}."
-        for name, elems in (
-                ("ln1_gamma", d), ("ln1_beta", d),
-                ("w_qkv", d * 3 * d), ("b_qkv", 3 * d),
-                ("w_proj", d * d), ("b_proj", d),
-                ("ln2_gamma", d), ("ln2_beta", d),
-                ("w_fc1", d * dff), ("b_fc1", dff),
-                ("w_fc2", dff * d), ("b_fc2", d),
-                ("kcache", config.max_seq_len * d),
-                ("vcache", config.max_seq_len * d)):
-            fake(p + name, elems)
+        fake(p + "ln1_gamma", d)
+        fake(p + "ln1_beta", d)
+        weight(p + "w_qkv", d * 3 * d, 3 * d)
+        fake(p + "b_qkv", 3 * d)
+        weight(p + "w_proj", d * d, d)
+        fake(p + "b_proj", d)
+        fake(p + "ln2_gamma", d)
+        fake(p + "ln2_beta", d)
+        weight(p + "w_fc1", d * dff, dff)
+        fake(p + "b_fc1", dff)
+        weight(p + "w_fc2", dff * d, d)
+        fake(p + "b_fc2", d)
+        fake(p + "kcache", config.max_seq_len * d)
+        fake(p + "vcache", config.max_seq_len * d)
     fake("ln_f_gamma", d)
     fake("ln_f_beta", d)
-    fake("lm_head", d * vocab)
+    weight("lm_head", d * vocab, vocab)
     fake("input_buffer", config.max_seq_len * d)
     fake("output_buffer", max(8, config.max_seq_len))
-    return ModelLayout(config=config, regions=regions)
+    return ModelLayout(config=config, regions=regions, quantize=quantize)
 
 
-def timing_layout(config: LLMConfig) -> ModelLayout:
+def timing_layout(config: LLMConfig,
+                  quantize: Optional[str] = None) -> ModelLayout:
     """Public accessor for the timing-only fake layout.
 
     The static verifier (``repro lint-program``) uses it to run the
     layout-aware address checks against the exact region map the timing
     programs were compiled for, without allocating device memory.
     """
-    return _fake_layout(config)
+    return _fake_layout(config, quantize=quantize)
 
 
-def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int
+def timing_program(config: LLMConfig, batch_tokens: int, ctx_prev: int,
+                   quantize: Optional[str] = None
                    ) -> Tuple[isa.Instruction, ...]:
     """A stage program with placeholder tokens/addresses for timing only.
 
     Builds a fake layout with correctly-sized regions but no backing
     memory, so the timing simulator can schedule real instruction streams
-    for models far larger than simulatable memory.
+    for models far larger than simulatable memory.  ``quantize="int8"``
+    emits the int8 weight path so the simulator prices the halved
+    weight stream.
     """
-    layout = _fake_layout(config)
+    layout = _fake_layout(config, quantize=quantize)
     return StageCompiler(layout).compile_stage([0] * batch_tokens, ctx_prev)
 
 
-def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int
+def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int,
+                           quantize: Optional[str] = None
                            ) -> Tuple[isa.Instruction, ...]:
     """One batched decode step for timing: a gen token from each of
     ``batch`` concurrent requests, all at attention span ``ctx_prev + 1``.
@@ -508,7 +607,7 @@ def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int
         raise CapacityError(
             f"context {ctx_prev + 1} beyond max_seq_len="
             f"{config.max_seq_len}")
-    layout = _fake_layout(config)
+    layout = _fake_layout(config, quantize=quantize)
     sc = StageCompiler(layout)
     cfg = config
     d, dff = cfg.d_model, cfg.d_ff
@@ -536,9 +635,8 @@ def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int
                                      beta_addr=addr(p + "ln1_beta"),
                                      n=d, eps=LN_EPS))
         qkv = regs.matrix()
-        sc._matmul(qkv, h, p + "w_qkv", batch, d, 3 * d, code)
-        code.append(isa.VpuBias(dst=qkv, src=qkv,
-                                bias_addr=addr(p + "b_qkv"), n=3 * d))
+        sc._matmul(qkv, h, p + "w_qkv", batch, d, 3 * d, code,
+                   bias=p + "b_qkv")
         q, k_new, v_new = regs.matrix(), regs.matrix(), regs.matrix()
         code.append(isa.VpuSlice(dst=q, src=qkv, start=0, stop=d))
         code.append(isa.VpuSlice(dst=k_new, src=qkv, start=d, stop=2 * d))
@@ -566,9 +664,8 @@ def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int
                 dst=attn, probs=probs, v_addr=addr(p + "vcache"),
                 heads=heads, head_dim=hd, ctx=ctx, m=1))
         proj = regs.matrix()
-        sc._matmul(proj, attn, p + "w_proj", batch, d, d, code)
-        code.append(isa.VpuBias(dst=proj, src=proj,
-                                bias_addr=addr(p + "b_proj"), n=d))
+        sc._matmul(proj, attn, p + "w_proj", batch, d, d, code,
+                   bias=p + "b_proj")
         x2 = regs.matrix()
         code.append(isa.VpuAdd(dst=x2, a=x, b=proj))
         code.append(isa.Free(regs=(h, qkv, q, k_new, v_new, scores, rowmax,
@@ -579,15 +676,13 @@ def batched_timing_program(config: LLMConfig, batch: int, ctx_prev: int
                                      beta_addr=addr(p + "ln2_beta"),
                                      n=d, eps=LN_EPS))
         f1 = regs.matrix()
-        sc._matmul(f1, h2, p + "w_fc1", batch, d, dff, code)
-        code.append(isa.VpuBias(dst=f1, src=f1,
-                                bias_addr=addr(p + "b_fc1"), n=dff))
+        sc._matmul(f1, h2, p + "w_fc1", batch, d, dff, code,
+                   bias=p + "b_fc1")
         g = regs.matrix()
         code.append(isa.VpuGelu(dst=g, src=f1))
         f2 = regs.matrix()
-        sc._matmul(f2, g, p + "w_fc2", batch, dff, d, code)
-        code.append(isa.VpuBias(dst=f2, src=f2,
-                                bias_addr=addr(p + "b_fc2"), n=d))
+        sc._matmul(f2, g, p + "w_fc2", batch, dff, d, code,
+                   bias=p + "b_fc2")
         x3 = regs.matrix()
         code.append(isa.VpuAdd(dst=x3, a=x2, b=f2))
         code.append(isa.Free(regs=(h2, f1, g, f2, x2)))

@@ -213,14 +213,45 @@ class Executor:
         self.registers.write(instr.dst, rows)
         return 0.0
 
+    def _int8_matmul(self, act: np.ndarray, instr) -> np.ndarray:
+        """W8A8 matmul with int32 accumulation and fused dequant(+bias).
+
+        The weight matrix at ``weight_addr`` holds integral int8 codes
+        (written by the quantizing model loader); ``scale_addr`` holds
+        the per-output-channel dequantization scales.  Each activation
+        row is quantized dynamically with a symmetric per-row scale —
+        the tinyML-style dynamic 32->8-bit rescale — accumulated
+        exactly in int32, and dequantized on writeback.
+        """
+        if instr.scale_addr < 0:
+            raise ExecutionError(
+                f"{instr.opcode}: int8 matmul without a scale_addr")
+        weight = self._read(instr.weight_addr, (instr.k, instr.n))
+        scales = self._read(instr.scale_addr, (instr.n,))
+        a_max = np.max(np.abs(act), axis=-1, keepdims=True)
+        a_scale = np.where(a_max > 0, a_max / np.float32(127.0),
+                           np.float32(1.0)).astype(np.float32)
+        a_q = np.clip(np.rint(act / a_scale), -127, 127).astype(np.int32)
+        acc = a_q @ weight.astype(np.int32)
+        out = acc.astype(np.float32) * (a_scale * scales)
+        if instr.bias_addr >= 0:
+            out = out + self._read(instr.bias_addr, (instr.n,))
+        return out.astype(np.float32)
+
     def _exec_mv(self, instr: isa.MpuMv) -> float:
         act = self._reg2d(instr.act)
         if act.shape != (1, instr.k):
             raise ExecutionError(
                 f"MPU_MV: activation shape {act.shape} != (1, {instr.k})")
-        weight = self._read(instr.weight_addr, (instr.k, instr.n))
-        self.registers.write(instr.dst, act @ weight)
-        return 0.0
+        if instr.dtype == "int8":
+            out = self._int8_matmul(act, instr)
+        else:
+            weight = self._read(instr.weight_addr, (instr.k, instr.n))
+            out = act @ weight
+            if instr.bias_addr >= 0:
+                out = out + self._read(instr.bias_addr, (instr.n,))
+        self.registers.write(instr.dst, out)
+        return float(instr.aux_elems())
 
     def _exec_mm_pea(self, instr: isa.MpuMmPea) -> float:
         act = self._reg2d(instr.act)
@@ -228,13 +259,18 @@ class Executor:
             raise ExecutionError(
                 f"{instr.opcode}: activation shape {act.shape} != "
                 f"({instr.m}, {instr.k})")
-        weight = self._read(instr.weight_addr, (instr.k, instr.n))
-        result = act @ weight
+        if instr.dtype == "int8":
+            result = self._int8_matmul(act, instr)
+        else:
+            weight = self._read(instr.weight_addr, (instr.k, instr.n))
+            result = act @ weight
+            if instr.bias_addr >= 0:
+                result = result + self._read(instr.bias_addr, (instr.n,))
         self.registers.write(instr.dst, result)
         if isinstance(instr, isa.MpuMmRedumaxPea):
             self.registers.write(instr.rowmax_dst,
                                  result.max(axis=-1, keepdims=True))
-        return 0.0
+        return float(instr.aux_elems())
 
     def _exec_masked_mm(self, instr: isa.MpuMaskedMm) -> float:
         q = self._reg2d(instr.q)

@@ -16,7 +16,17 @@ matrix/vector registers.  Each instruction reports:
 * ``flops()`` — arithmetic work;
 * ``mem_elems()`` — device-memory elements streamed (the timing model
   multiplies by the modelled datatype width);
+* ``mem_bytes(bytes_per_elem)`` — the streamed bytes at the modelled
+  width, which the datatype-aware instructions override;
 * ``unit`` — the execution resource it occupies.
+
+The memory-touching instructions (``DMA_LOAD``/``DMA_GATHER`` and the
+weight-streaming matmuls) carry a ``dtype`` field: ``"fp16"`` is the
+modelled default (two bytes per streamed element), ``"int8"`` streams
+one byte per weight element.  An int8 matmul reads per-output-channel
+scales from ``scale_addr`` (``n`` fp32 elements), accumulates in int32,
+and dequantizes on writeback — optionally fusing the bias add when
+``bias_addr`` is set (the executor gives these exact numpy semantics).
 
 The functional executor (:mod:`repro.accelerator.engine`) gives every
 instruction exact numpy semantics; the timing simulator
@@ -41,6 +51,21 @@ class Unit(enum.Enum):
     ADDER_TREE = "adder-tree"  # DFX GEMV datapath
     VPU = "vpu"
     CONTROL = "control"
+
+
+#: Stream datatypes the memory-touching instructions understand.
+DTYPES = ("fp16", "int8")
+
+#: Modelled bytes per streamed element for each datatype.  ``fp16`` is a
+#: placeholder resolved to the simulator's configured width (default 2);
+#: ``int8`` is always one byte on the wire.
+DTYPE_BYTES = {"fp16": 2, "int8": 1}
+
+
+def _check_dtype(opcode: str, dtype: str) -> None:
+    if dtype not in DTYPES:
+        raise IsaError(f"{opcode}: unknown dtype {dtype!r} "
+                       f"(expected one of {DTYPES})")
 
 
 @dataclass(frozen=True)
@@ -68,6 +93,16 @@ class Instruction:
         """Device-memory elements streamed by this instruction."""
         return 0.0
 
+    def mem_bytes(self, bytes_per_elem: int) -> float:
+        """Streamed bytes at the modelled register-file element width.
+
+        ``bytes_per_elem`` is the simulator's configured width for the
+        default fp16 stream; datatype-carrying instructions override
+        this to charge one byte per int8 weight element (plus the
+        full-width scale/bias side streams).
+        """
+        return self.mem_elems() * bytes_per_elem
+
 
 # --------------------------------------------------------------------------
 # DMA engine
@@ -75,7 +110,12 @@ class Instruction:
 
 @dataclass(frozen=True)
 class DmaLoad(Instruction):
-    """Load a tensor from device memory into a register."""
+    """Load a tensor from device memory into a register.
+
+    ``dtype`` describes the stream width on the wire: an ``"int8"``
+    load moves one byte per element (the register-file value is still
+    the functional fp32 number the executor reads).
+    """
 
     OPCODE = "DMA_LOAD"
     UNIT = Unit.DMA
@@ -83,12 +123,21 @@ class DmaLoad(Instruction):
     dst: str
     addr: int
     shape: Tuple[int, ...]
+    dtype: str = "fp16"
+
+    def __post_init__(self) -> None:
+        _check_dtype(self.OPCODE, self.dtype)
 
     def writes(self) -> Tuple[str, ...]:
         return (self.dst,)
 
     def mem_elems(self) -> float:
         return float(_numel(self.shape))
+
+    def mem_bytes(self, bytes_per_elem: int) -> float:
+        if self.dtype == "int8":
+            return self.mem_elems()
+        return self.mem_elems() * bytes_per_elem
 
 
 @dataclass(frozen=True)
@@ -125,12 +174,21 @@ class DmaGather(Instruction):
     table_addr: int
     row_elems: int
     indices: Tuple[int, ...]
+    dtype: str = "fp16"
+
+    def __post_init__(self) -> None:
+        _check_dtype(self.OPCODE, self.dtype)
 
     def writes(self) -> Tuple[str, ...]:
         return (self.dst,)
 
     def mem_elems(self) -> float:
         return float(len(self.indices) * self.row_elems)
+
+    def mem_bytes(self, bytes_per_elem: int) -> float:
+        if self.dtype == "int8":
+            return self.mem_elems()
+        return self.mem_elems() * bytes_per_elem
 
 
 # --------------------------------------------------------------------------
@@ -139,7 +197,15 @@ class DmaGather(Instruction):
 
 @dataclass(frozen=True)
 class MpuMv(Instruction):
-    """Adder-tree GEMV: ``dst[1,n] = act[1,k] @ W[k,n]`` (W from memory)."""
+    """Adder-tree GEMV: ``dst[1,n] = act[1,k] @ W[k,n]`` (W from memory).
+
+    With ``dtype="int8"`` the weight matrix streams one byte per
+    element.  ``scale_addr`` then points at the per-output-channel
+    dequantization scales (``n`` fp32 elements); the adder trees
+    quantize the activation row dynamically, accumulate in int32, and
+    dequantize on writeback.  A non-negative ``bias_addr`` fuses the
+    bias add (``n`` elements) into the same writeback pass.
+    """
 
     OPCODE = "MPU_MV"
     UNIT = Unit.ADDER_TREE
@@ -149,10 +215,14 @@ class MpuMv(Instruction):
     weight_addr: int
     k: int
     n: int
+    dtype: str = "fp16"
+    scale_addr: int = -1
+    bias_addr: int = -1
 
     def __post_init__(self) -> None:
         if self.k <= 0 or self.n <= 0:
             raise IsaError(f"{self.OPCODE}: bad dims k={self.k} n={self.n}")
+        _check_dtype(self.OPCODE, self.dtype)
 
     def reads(self) -> Tuple[str, ...]:
         return (self.act,)
@@ -166,6 +236,17 @@ class MpuMv(Instruction):
     def mem_elems(self) -> float:
         return float(self.k * self.n)
 
+    def aux_elems(self) -> int:
+        """Full-width side-stream elements (int8 scales, fused bias)."""
+        if self.dtype != "int8":
+            return self.n if self.bias_addr >= 0 else 0
+        return self.n * (2 if self.bias_addr >= 0 else 1)
+
+    def mem_bytes(self, bytes_per_elem: int) -> float:
+        weight = 1 if self.dtype == "int8" else bytes_per_elem
+        return (self.mem_elems() * weight
+                + self.aux_elems() * bytes_per_elem)
+
 
 # --------------------------------------------------------------------------
 # Matrix processing unit — PE-array (GEMM) path: the six new instructions
@@ -173,7 +254,13 @@ class MpuMv(Instruction):
 
 @dataclass(frozen=True)
 class MpuMmPea(Instruction):
-    """PE-array GEMM: ``dst[m,n] = act[m,k] @ W[k,n]`` (W from memory)."""
+    """PE-array GEMM: ``dst[m,n] = act[m,k] @ W[k,n]`` (W from memory).
+
+    ``dtype``/``scale_addr``/``bias_addr`` follow :class:`MpuMv`: an
+    int8 GEMM streams one byte per weight element, quantizes each
+    activation row dynamically, accumulates in int32, and dequantizes
+    (optionally adding the fused bias) on writeback.
+    """
 
     OPCODE = "MPU_MM_PEA"
     UNIT = Unit.PE_ARRAY
@@ -184,11 +271,15 @@ class MpuMmPea(Instruction):
     m: int
     k: int
     n: int
+    dtype: str = "fp16"
+    scale_addr: int = -1
+    bias_addr: int = -1
 
     def __post_init__(self) -> None:
         if min(self.m, self.k, self.n) <= 0:
             raise IsaError(f"{self.OPCODE}: bad dims "
                            f"{self.m}x{self.k}x{self.n}")
+        _check_dtype(self.OPCODE, self.dtype)
 
     def reads(self) -> Tuple[str, ...]:
         return (self.act,)
@@ -201,6 +292,17 @@ class MpuMmPea(Instruction):
 
     def mem_elems(self) -> float:
         return float(self.k * self.n)
+
+    def aux_elems(self) -> int:
+        """Full-width side-stream elements (int8 scales, fused bias)."""
+        if self.dtype != "int8":
+            return self.n if self.bias_addr >= 0 else 0
+        return self.n * (2 if self.bias_addr >= 0 else 1)
+
+    def mem_bytes(self, bytes_per_elem: int) -> float:
+        weight = 1 if self.dtype == "int8" else bytes_per_elem
+        return (self.mem_elems() * weight
+                + self.aux_elems() * bytes_per_elem)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from .verifier import (
     DEFAULT_ADDRESS_SPACE,
     address_diagnostics,
     dataflow_diagnostics,
+    dtype_diagnostics,
     memory_windows,
     pressure_diagnostics,
     verify_program,
@@ -50,6 +51,7 @@ __all__ = [
     "address_diagnostics",
     "analyze_program",
     "dataflow_diagnostics",
+    "dtype_diagnostics",
     "infer_shapes",
     "lint_path",
     "lint_source",

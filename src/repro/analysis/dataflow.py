@@ -232,7 +232,13 @@ class PressureReport:
 def register_pressure(program,
                       bytes_per_elem: int = LOGICAL_BYTES_PER_ELEM
                       ) -> PressureReport:
-    """Track live register bytes per bank through the program."""
+    """Track live register bytes per bank through the program.
+
+    Most registers are charged at ``bytes_per_elem`` (the modelled FP16
+    width).  The destination of an int8 matmul is the exception: the
+    PE array accumulates at int32, so those outputs occupy 4 bytes per
+    element until freed or overwritten.
+    """
     shapes = infer_shapes(program)
     live_bytes: Dict[str, int] = {"m": 0, "v": 0, "s": 0}
     reg_bytes: Dict[str, int] = {}
@@ -253,6 +259,11 @@ def register_pressure(program,
         if not writes:
             continue
         shape = shapes[idx]
+        elem_bytes = bytes_per_elem
+        if isinstance(instr, (isa.MpuMv, isa.MpuMmPea)) \
+                and instr.dtype == "int8":
+            elem_bytes = 4  # int32 accumulator before dequant
+
         for order, reg in enumerate(writes):
             bank = reg[0] if reg[:1] in live_bytes else None
             if bank is None:
@@ -266,13 +277,13 @@ def register_pressure(program,
             if order == 0 and reg_shape is None:
                 if reg not in reg_bytes:
                     unknown.append(reg)
-            nbytes = (_numel(reg_shape) * bytes_per_elem
+            nbytes = (_numel(reg_shape) * elem_bytes
                       if reg_shape is not None else 0)
             if order > 0:
                 # rowmax-style secondary destination: m (or heads*m)
                 # elements — small; approximate from the primary shape.
-                nbytes = (shape[0] * bytes_per_elem
-                          if shape else bytes_per_elem)
+                nbytes = (shape[0] * elem_bytes
+                          if shape else elem_bytes)
             old = reg_bytes.get(reg)
             if old is None:
                 live += 1

@@ -16,6 +16,10 @@ Combines three analyses into one :class:`AnalysisReport`:
   supplied the checks become layout-aware: windows must stay inside the
   region they start in (PNM205) and stores may only target mutable
   regions — the per-layer KV caches and the I/O buffers (PNM206).
+* **Weight dtype** (PNM3xx): an int8 matmul must name its per-channel
+  scale tensor (PNM301), and a program must not mix int8 and fp16
+  weight matmuls — the MAC datapath's weight precision is a
+  program-level mode on the DFX-lineage design (PNM302).
 
 A program **verifies clean** when the report has no ERRORs
 (``report.ok``).  Warnings flag legal-but-suspicious constructs that
@@ -88,10 +92,14 @@ def memory_windows(instr) -> List[Tuple[int, int, str]]:
         row = instr.row_elems * b
         top = (max(instr.indices) + 1) if instr.indices else 0
         windows.append((instr.table_addr, top * row, "load"))
-    elif isinstance(instr, isa.MpuMv):
+    elif isinstance(instr, (isa.MpuMv, isa.MpuMmPea)):
         windows.append((instr.weight_addr, instr.k * instr.n * b, "load"))
-    elif isinstance(instr, isa.MpuMmPea):
-        windows.append((instr.weight_addr, instr.k * instr.n * b, "load"))
+        # Quantization side streams: per-channel scales and the fused
+        # bias live at the functional fp32 width like everything else.
+        if instr.scale_addr >= 0:
+            windows.append((instr.scale_addr, instr.n * b, "load"))
+        if instr.bias_addr >= 0:
+            windows.append((instr.bias_addr, instr.n * b, "load"))
     elif isinstance(instr, isa.MpuMaskedMm):
         nbytes = instr.ctx * instr.heads * instr.head_dim * b
         windows.append((instr.k_addr, nbytes, "load"))
@@ -192,6 +200,42 @@ def address_diagnostics(program, *, layout=None,
     return diags
 
 
+def dtype_diagnostics(program) -> List[Diagnostic]:
+    """PNM301/PNM302: weight-dtype consistency for int8 programs.
+
+    * PNM301 — an int8 matmul without a per-channel scale tensor
+      (``scale_addr < 0``): the executor cannot dequantize the int32
+      accumulator and refuses the instruction at run time.
+    * PNM302 — a single program mixing int8 and fp16 weight matmuls:
+      the MAC datapath's weight precision is a program-level mode, so a
+      compiler must emit a whole stage at one width.
+    """
+    diags: List[Diagnostic] = []
+    seen_dtypes: Dict[str, int] = {}
+    for idx, instr in enumerate(program):
+        if not isinstance(instr, (isa.MpuMv, isa.MpuMmPea)):
+            continue
+        loc = f"program[{idx}]"
+        if instr.dtype == "int8" and instr.scale_addr < 0:
+            diags.append(Diagnostic(
+                "PNM301", Severity.ERROR,
+                "int8 matmul has no per-channel scale tensor "
+                "(scale_addr < 0); the int32 accumulator cannot be "
+                "dequantized",
+                location=loc, index=idx, source=instr.opcode))
+        if instr.dtype not in seen_dtypes:
+            seen_dtypes[instr.dtype] = idx
+            if len(seen_dtypes) == 2:
+                first_dtype, first_idx = next(iter(seen_dtypes.items()))
+                diags.append(Diagnostic(
+                    "PNM302", Severity.ERROR,
+                    f"program mixes weight dtypes: this {instr.dtype} "
+                    f"matmul follows the {first_dtype} matmul at "
+                    f"program[{first_idx}]",
+                    location=loc, index=idx, source=instr.opcode))
+    return diags
+
+
 def dataflow_diagnostics(program) -> List[Diagnostic]:
     """PNM101-PNM105: register def/use/free violations."""
     facts = analyze_program(program)
@@ -269,6 +313,7 @@ def verify_program(program, *, layout=None,
     diags.extend(dataflow_diagnostics(program))
     diags.extend(address_diagnostics(
         program, layout=layout, memory_capacity=memory_capacity))
+    diags.extend(dtype_diagnostics(program))
     if check_pressure:
         diags.extend(pressure_diagnostics(program, budgets))
     return AnalysisReport.collect(diags, subject=subject)

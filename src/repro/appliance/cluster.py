@@ -62,8 +62,7 @@ class GpuAppliance:
 
     def serve(self, config: LLMConfig, requests: Sequence,
               arrival_times: Optional[Sequence[float]] = None, *,
-              max_batch: Optional[int] = None, engine: str = "event",
-              step=None):
+              max_batch: Optional[int] = None, step=None):
         """Serve a request stream with continuous batching on this
         appliance (one model replica per GPU, appliance-level DP).
 
@@ -80,7 +79,7 @@ class GpuAppliance:
             step = BatchStepTimer(config, GpuPerfModel(self.spec))
         scheduler = ContinuousBatchScheduler(
             step, config, self.spec.memory_bytes, max_batch=max_batch,
-            num_devices=self.num_devices, engine=engine)
+            num_devices=self.num_devices)
         return scheduler.run(requests, arrival_times)
 
 
@@ -120,8 +119,7 @@ class PnmAppliance:
 
     def serve(self, config: LLMConfig, requests: Sequence,
               arrival_times: Optional[Sequence[float]] = None, *,
-              max_batch: Optional[int] = None, engine: str = "event",
-              step=None):
+              max_batch: Optional[int] = None, step=None):
         """Serve a request stream with continuous batching on this
         appliance (one model replica per CXL-PNM card, appliance DP).
 
@@ -140,8 +138,7 @@ class PnmAppliance:
             step = BatchStepTimer(config, PnmPerfModel(self.device))
         scheduler = ContinuousBatchScheduler(
             step, config, self.device.memory_capacity,
-            max_batch=max_batch, num_devices=self.num_devices,
-            engine=engine)
+            max_batch=max_batch, num_devices=self.num_devices)
         return scheduler.run(requests, arrival_times)
 
 

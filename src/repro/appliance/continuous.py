@@ -11,24 +11,19 @@ weights (small-batch GEMM, the lever of the paper's ref [10]), and
 requests leave the moment their last token is produced.
 
 :class:`ContinuousBatchScheduler` simulates that regime at decode-step
-granularity with one of two kernels:
+granularity with a **global event heap** of request-arrival,
+device-step-complete, and device-fault events.  Each device's timeline
+advances independently: admission, prefill, decode, stall, and failover
+all fire at their true simulated times instead of at a global iteration
+boundary.  Quiet decode stretches (no pending admissions, no scheduled
+fault before the next completion) are planned as a single *macro-step*:
+the whole cohort of decode steps is priced in one vectorized call
+(``step.decode_steps_s`` when the model provides it), which is what
+makes cluster-scale runs (10^5–10^6 requests) tractable.  (The legacy
+lock-step "barrier" kernel the event heap replaced was retired after
+an A/B deprecation window; DESIGN.md records the semantic deltas.)
 
-* ``engine="event"`` (default) — a **global event heap** of
-  request-arrival, device-step-complete, and device-fault events.
-  Each device's timeline advances independently: admission, prefill,
-  decode, stall, and failover all fire at their true simulated times
-  instead of at a global iteration boundary.  Quiet decode stretches
-  (no pending admissions, no scheduled fault before the next
-  completion) are planned as a single *macro-step*: the whole cohort
-  of decode steps is priced in one vectorized call
-  (``step.decode_steps_s`` when the model provides it), which is what
-  makes cluster-scale runs (10^5–10^6 requests) tractable.
-* ``engine="barrier"`` — the legacy lock-step kernel, kept temporarily
-  for A/B comparison.  Every iteration ends at the slowest device, so
-  per-device completion times and stall handling are quantized to the
-  global barrier; see DESIGN.md for the exact semantic deltas.
-
-Scheduling semantics shared by both kernels:
+Scheduling semantics:
 
 * **Admission** — FCFS from the waiting queue; a request is admitted
   when the target device has a slot (``max_batch``) and its *peak* KV
@@ -100,7 +95,8 @@ class BatchStepModel(Protocol):
 
 
 def simulated_step_model(config: LLMConfig, device=None,
-                         context_quantum: int = 32) -> BatchStepModel:
+                         context_quantum: int = 32,
+                         quantize: Optional[str] = None) -> BatchStepModel:
     """A :class:`BatchStepModel` priced by the instruction-level simulator.
 
     Alternative to :class:`repro.perf.analytical.BatchStepTimer`: steps
@@ -115,12 +111,15 @@ def simulated_step_model(config: LLMConfig, device=None,
         device: A :class:`~repro.accelerator.device.CXLPNMDevice`
             (default: the paper's).
         context_quantum: Context quantization step for memoization.
+        quantize: ``"int8"`` prices the quantized weight path (halved
+            weight-stream bytes on the bandwidth-bound decode steps).
     """
     from repro.perf.simulator import AcceleratorSimulator, SimulatedStepTimer
     simulator = AcceleratorSimulator(device) if device is not None \
         else AcceleratorSimulator()
     return SimulatedStepTimer(config, simulator=simulator,
-                              context_quantum=context_quantum)
+                              context_quantum=context_quantum,
+                              quantize=quantize)
 
 
 @dataclass(frozen=True)
@@ -129,8 +128,7 @@ class FailoverEvent:
 
     Attributes:
         at_s: Simulated time at which the failure took effect (the
-            event's true time under the event kernel; the next global
-            iteration boundary under the barrier kernel).
+            fault event's true simulated time).
         device: Index of the lost device.
         requeued: In-flight requests returned to the waiting queue.
     """
@@ -306,9 +304,6 @@ class ContinuousBatchScheduler:
             :class:`~repro.faults.FaultPlan` stall or permanently fail
             individual devices — the engine requeues the victims and
             re-admits them against surviving capacity.
-        engine: ``"event"`` (default) for the event-driven kernel,
-            ``"barrier"`` for the legacy lock-step kernel kept for A/B
-            comparison.
         tracer: Optional span tracer; defaults to the ambient/no-op one.
         metrics: Optional metrics registry, resolved the same way.
     """
@@ -318,7 +313,6 @@ class ContinuousBatchScheduler:
     memory_bytes: int
     max_batch: Optional[int] = None
     num_devices: int = 1
-    engine: str = "event"
     tracer: Optional[object] = None
     metrics: Optional[object] = None
 
@@ -327,10 +321,6 @@ class ContinuousBatchScheduler:
             raise ConfigurationError("max_batch must be >= 1")
         if self.num_devices < 1:
             raise ConfigurationError("need at least one device")
-        if self.engine not in ("event", "barrier"):
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; "
-                "pick 'event' or 'barrier'")
         if kv_spare_bytes(self.config, self.memory_bytes) <= 0:
             raise ConfigurationError(
                 f"{self.config.name} parameters leave no KV room in "
@@ -363,14 +353,10 @@ class ContinuousBatchScheduler:
             for r, a in sorted(zip(requests, arrival_times),
                                key=lambda p: p[1])]
         with tracer.span("scheduler.continuous", category="scheduler",
-                         requests=len(requests), engine=self.engine,
+                         requests=len(requests),
                          memory_gb=self.memory_bytes / 1e9):
-            if self.engine == "event":
-                stats = _EventKernel(self, waiting, tracer, metrics,
-                                     faults, events).run()
-            else:
-                stats = self._run_barrier(waiting, tracer, metrics,
-                                          faults, events)
+            stats = _EventKernel(self, waiting, tracer, metrics,
+                                 faults, events).run()
         if metrics.enabled:
             for c in stats.completed:
                 if c.ttft_s is not None:
@@ -381,290 +367,6 @@ class ContinuousBatchScheduler:
                 metrics.histogram("scheduler.latency_s").observe(
                     c.total_latency_s)
         return stats
-
-    # -- legacy lock-step kernel (A/B reference) -------------------------
-
-    def _run_barrier(self, waiting: List[_QueueEntry], tracer, metrics,
-                     faults, events: Sequence[DeviceFaultEvent]
-                     ) -> ContinuousBatchStats:
-        """The pre-event-kernel iteration loop, kept for A/B testing.
-
-        Time advances in global iterations that end at the slowest
-        device, so admission, faults, and stall charging are quantized
-        to barrier boundaries (the modeling inaccuracy the event kernel
-        removes).  Completion times, failover attribution, and
-        lost-capacity accounting carry the satellite fixes: a request
-        finishes at its *own device's* iteration end, failover state
-        rides the queue entry, and ``lost_device_s`` is tracked.
-        """
-        ev_idx = 0
-        kv_budget = kv_spare_bytes(self.config, self.memory_bytes)
-        head = 0
-        running: List[_Running] = []
-        free_slots: List[int] = []
-        next_slot = 0
-        kv_reserved = [0] * self.num_devices
-        alive = [True] * self.num_devices
-        failed_at: List[Optional[float]] = [None] * self.num_devices
-        stall_pending = [0.0] * self.num_devices
-        completed: List[CompletedRequest] = []
-        rejected: List[RejectedRequest] = []
-        failover_events: List[FailoverEvent] = []
-        failover_latencies: List[float] = []
-        now = 0.0
-        iterations = 0
-        max_occupancy = 0
-        busy_s = 0.0
-        occupancy_time_s = 0.0
-        stall_total_s = 0.0
-        devices_failed = 0
-
-        while head < len(waiting) or running:
-            if not running and head < len(waiting) \
-                    and waiting[head][1] > now:
-                now = waiting[head][1]  # idle: jump to next arrival
-
-            # -- scheduled device faults (iteration boundaries) -----
-            while ev_idx < len(events) and events[ev_idx].at_s <= now:
-                event = events[ev_idx]
-                ev_idx += 1
-                if event.device >= self.num_devices \
-                        or not alive[event.device]:
-                    continue  # unmapped or already-dead device
-                if event.kind is DeviceFaultKind.STALL:
-                    stall_pending[event.device] += event.duration_s
-                    stall_total_s += event.duration_s
-                    if faults is not None:
-                        faults.note_stall(event.duration_s)
-                    if metrics.enabled:
-                        metrics.counter("scheduler.device_stalls").inc()
-                    if tracer.enabled:
-                        tracer.sim_span(
-                            "device_stall", start_s=now,
-                            dur_s=event.duration_s,
-                            track="scheduler.faults", category="faults",
-                            args={"device": event.device})
-                    continue
-                # Permanent failure: the device's in-flight requests
-                # lose their KV caches and return to the queue head
-                # (original order), to re-run admission against the
-                # surviving capacity.
-                alive[event.device] = False
-                failed_at[event.device] = now
-                devices_failed += 1
-                victims = [r for r in running
-                           if r.device == event.device]
-                running = [r for r in running
-                           if r.device != event.device]
-                for victim in victims:
-                    kv_reserved[event.device] -= victim.kv_reserved
-                    heapq.heappush(free_slots, victim.slot)
-                waiting[head:head] = [
-                    (v.request, v.arrival_s, v.failovers + 1, now)
-                    for v in victims]
-                failover_events.append(FailoverEvent(
-                    at_s=now, device=event.device,
-                    requeued=len(victims)))
-                if faults is not None:
-                    faults.note_device_failure(requeued=len(victims))
-                if metrics.enabled:
-                    metrics.counter("scheduler.device_failures").inc()
-                    metrics.counter("scheduler.requeued").inc(
-                        len(victims))
-                if tracer.enabled:
-                    tracer.sim_span(
-                        "device_fail", start_s=now, dur_s=0.0,
-                        track="scheduler.faults", category="faults",
-                        args={"device": event.device,
-                              "requeued": len(victims)})
-            if not any(alive):
-                # Nothing left to serve on: reject the remaining
-                # work with the typed error instead of hanging.
-                for request, arrival, _fo, _rq in waiting[head:]:
-                    error = DeviceLostError(
-                        "all devices failed; serving capacity lost")
-                    rejected.append(RejectedRequest(
-                        request=request, arrival_s=arrival,
-                        reason=str(error), error=error))
-                    if metrics.enabled:
-                        metrics.counter("scheduler.rejected").inc()
-                head = len(waiting)
-                break
-
-            # -- admission: FCFS from the queue head ----------------
-            admitted: List[_Running] = []
-            while head < len(waiting) and waiting[head][1] <= now:
-                request, arrival, fo, rq = waiting[head]
-                error = infeasible_error(self.config,
-                                         self.memory_bytes, request)
-                if error is not None:
-                    rejected.append(RejectedRequest(
-                        request=request, arrival_s=arrival,
-                        reason=str(error), error=error))
-                    head += 1
-                    if metrics.enabled:
-                        metrics.counter("scheduler.rejected").inc()
-                    continue
-                peak = peak_kv_bytes(self.config, request.input_len,
-                                     request.output_len)
-                device = self._pick_device(running, alive, kv_reserved)
-                if device is None:
-                    break  # every surviving device at max_batch
-                if kv_reserved[device] + peak > kv_budget:
-                    break  # no KV room: head-of-line waits
-                if free_slots:
-                    slot = heapq.heappop(free_slots)
-                else:
-                    slot = next_slot
-                    next_slot += 1
-                entry = _Running(request=request, arrival_s=arrival,
-                                 admitted_s=now, kv_reserved=peak,
-                                 slot=slot, device=device,
-                                 failovers=fo, requeued_at=rq)
-                if rq is not None:
-                    latency = now - rq
-                    failover_latencies.append(latency)
-                    if faults is not None:
-                        faults.note_failover_latency(latency)
-                    if metrics.enabled:
-                        metrics.counter(
-                            "scheduler.failover_readmits").inc()
-                kv_reserved[device] += peak
-                running.append(entry)
-                admitted.append(entry)
-                head += 1
-                if metrics.enabled:
-                    metrics.counter("scheduler.admitted").inc()
-
-            if not running:
-                continue  # everything due by `now` was rejected
-
-            # -- one iteration: prefills, then one decode step per
-            #    device; the iteration ends at the slowest device --
-            start = now
-            iter_end = start
-            total_decodes = 0
-            dev_end: Dict[int, float] = {}
-            for d in range(self.num_devices):
-                if not alive[d]:
-                    continue
-                dev_admitted = [e for e in admitted if e.device == d]
-                decoders = [r for r in running
-                            if r.device == d and r not in admitted
-                            and not r.done]
-                if not dev_admitted and not decoders:
-                    continue
-                cursor = start
-                if stall_pending[d]:
-                    cursor += stall_pending[d]  # transient stall tax
-                    stall_pending[d] = 0.0
-                for entry in dev_admitted:
-                    cursor += self.step.prefill_s(
-                        entry.request.input_len)
-                    entry.generated = 1
-                    entry.first_token_s = cursor
-                decode_s = 0.0
-                if decoders:
-                    mean_ctx = int(math.ceil(
-                        sum(r.context_len for r in decoders)
-                        / len(decoders)))
-                    decode_s = self.step.decode_step_s(len(decoders),
-                                                       mean_ctx)
-                end_d = cursor + decode_s
-                dev_end[d] = end_d
-                for entry in decoders:
-                    entry.generated += 1
-                total_decodes += len(decoders)
-                busy_s += end_d - start
-                occupancy_time_s += (end_d - start) * sum(
-                    1 for r in running if r.device == d)
-                iter_end = max(iter_end, end_d)
-            now = iter_end
-            iterations += 1
-            occupancy = len(running)
-            max_occupancy = max(max_occupancy, occupancy)
-
-            # -- completions (at the finishing device's own end) ----
-            still: List[_Running] = []
-            for entry in running:
-                if not entry.done:
-                    still.append(entry)
-                    continue
-                finish = dev_end.get(entry.device, now)
-                kv_reserved[entry.device] -= entry.kv_reserved
-                heapq.heappush(free_slots, entry.slot)
-                completed.append(CompletedRequest(
-                    request=entry.request,
-                    arrival_s=entry.arrival_s,
-                    start_s=entry.admitted_s,
-                    finish_s=finish,
-                    first_token_s=entry.first_token_s,
-                    failovers=entry.failovers))
-                if tracer.enabled:
-                    tracer.sim_span(
-                        "request", start_s=entry.admitted_s,
-                        dur_s=finish - entry.admitted_s,
-                        track=f"scheduler.slot{entry.slot}",
-                        category="scheduler",
-                        args={"request_id": entry.request.request_id,
-                              "queue_wait_s":
-                                  entry.admitted_s - entry.arrival_s,
-                              "ttft_s": entry.first_token_s
-                              - entry.arrival_s,
-                              "output_tokens":
-                                  entry.request.output_len})
-            running = still
-
-            # -- observability (records only; never feeds back) -----
-            if tracer.enabled and iterations <= MAX_TRACED_ITERATIONS:
-                tracer.sim_span(
-                    "batch_step", start_s=start, dur_s=now - start,
-                    track="scheduler.batch", category="scheduler",
-                    args={"iteration": iterations,
-                          "prefills": len(admitted),
-                          "decodes": total_decodes,
-                          "occupancy": occupancy,
-                          "kv_reserved_gb": sum(kv_reserved) / 1e9})
-            if metrics.enabled:
-                metrics.gauge("scheduler.batch_occupancy").set(
-                    occupancy)
-                metrics.counter("scheduler.decode_steps").inc(
-                    total_decodes)
-                metrics.counter("scheduler.prefills").inc(
-                    len(admitted))
-
-        makespan = max(c.finish_s for c in completed) if completed else 0.0
-        lost = sum(max(0.0, makespan - t) for t in failed_at
-                   if t is not None)
-        return ContinuousBatchStats(
-            completed=completed, makespan_s=makespan,
-            num_instances=self.num_devices,
-            rejected=rejected, num_iterations=iterations,
-            max_occupancy=max_occupancy, busy_s=busy_s,
-            occupancy_time_s=occupancy_time_s,
-            stall_s=stall_total_s, devices_failed=devices_failed,
-            lost_device_s=lost,
-            failover_events=failover_events,
-            failover_latencies_s=failover_latencies)
-
-    def _pick_device(self, running: List[_Running], alive: List[bool],
-                     kv_reserved: List[int]) -> Optional[int]:
-        """Least-reserved surviving device with a batch slot, or None.
-
-        Ties break toward the lowest index, so a single-device engine
-        always picks device 0 and multi-device placement is
-        deterministic.
-        """
-        best: Optional[int] = None
-        for d in range(self.num_devices):
-            if not alive[d]:
-                continue
-            if self.max_batch is not None and sum(
-                    1 for r in running if r.device == d) >= self.max_batch:
-                continue
-            if best is None or kv_reserved[d] < kv_reserved[best]:
-                best = d
-        return best
 
 
 # -- event-driven kernel ----------------------------------------------

@@ -7,15 +7,15 @@ Commands:
   (``--export DIR`` also writes JSON/CSV).
 * ``models`` — the LLM zoo with capacity/bandwidth footprints.
 * ``platform`` — the CXL-PNM platform summary (Tables I/II headline).
-* ``estimate <model> [--in N] [--out N]`` — single-device latency/energy
-  for a zoo model on CXL-PNM and an A100.
+* ``estimate <model> [--in N] [--out N] [--dtype fp32|int8]`` —
+  single-device latency/energy for a zoo model on CXL-PNM and an A100.
 * ``serve <model> [--device pnm|gpu] [--engine both|fcfs|continuous]
-  [--devices N] [--kernel event|barrier]`` — open-loop Poisson serving
-  simulation comparing FCFS-exclusive dispatch with the
+  [--devices N] [--dtype fp32|int8]`` — open-loop Poisson serving
+  simulation comparing FCFS-exclusive dispatch with the event-driven
   continuous-batching engine (KV admission control, TTFT/TBT
   percentiles); ``--devices`` replicates the model for appliance DP and
-  ``--kernel`` selects the event-driven kernel (default) or the legacy
-  lock-step barrier for A/B comparison.
+  ``--dtype int8`` prices decode steps on the quantized weight path
+  (halved weight-stream bytes).
 * ``chaos [--crc-rate R] [--fail AT:DEV] ...`` — fault-injection run
   (``repro.faults``): generation, CXL readback, and multi-device
   serving under a seeded fault schedule, reporting corrected /
@@ -29,8 +29,9 @@ Commands:
   (``--errors-only`` counts only errors), 1 when the tool itself fails.
 * ``roofline <model>`` — roofline placement of a zoo model's stages on
   CXL-PNM and the A100.
-* ``generate [--layers N ...]`` — run a miniature model functionally
-  through the full simulated stack and print the tokens.
+* ``generate [--layers N ...] [--dtype fp32|int8]`` — run a miniature
+  model functionally through the full simulated stack and print the
+  tokens (``--dtype int8`` runs the per-channel-quantized weight path).
 * ``trace summarize <file>`` — top spans of an exported trace by
   cumulative simulated time.
 
@@ -138,6 +139,8 @@ def _cmd_platform(_args) -> int:
 
 def _cmd_estimate(args) -> int:
     config = get_model(args.model)
+    if args.dtype == "int8":
+        config = config.with_dtype(1)
     platform = CxlPnmPlatform()
     rows = []
     if platform.fits(config):
@@ -194,17 +197,23 @@ def _cmd_serve(args) -> int:
                                 memory_bytes=memory)
         runs.append(("fcfs-exclusive", fcfs.run(requests, arrivals)))
     if args.engine in ("continuous", "both"):
+        quantize = "int8" if args.dtype == "int8" else None
         if args.step_model == "sim":
             if args.device != "pnm":
                 print("error: --step-model sim requires --device pnm")
                 return 2
             from repro.appliance import simulated_step_model
-            step = simulated_step_model(config, device=device)
+            step = simulated_step_model(config, device=device,
+                                        quantize=quantize)
         else:
-            step = BatchStepTimer(config, perf)
+            # Analytical models take the halved weight stream through a
+            # quantized config copy; admission budgets stay on `config`
+            # (KV caches keep their full width).
+            step_config = config.with_dtype(1) if quantize else config
+            step = BatchStepTimer(step_config, perf)
         engine = ContinuousBatchScheduler(
             step, config, memory, max_batch=args.max_batch,
-            num_devices=args.devices, engine=args.kernel)
+            num_devices=args.devices)
         name = "continuous" if args.devices == 1 \
             else f"continuous x{args.devices}"
         runs.append((name, engine.run(requests, arrivals)))
@@ -299,23 +308,27 @@ def _cmd_lint_program(args) -> int:
     from repro.analysis import verify_program
     config = tiny_config() if args.model == "tiny" \
         else get_model(args.model)
-    layout = timing_layout(config)
+    quantize = "int8" if args.dtype == "int8" else None
+    layout = timing_layout(config, quantize=quantize)
     if args.ctx_prev is None:
         # The service experiment's decode point, clamped to the model:
         # a batched decode step appends one row per request; a plain
         # stage consumes batch_tokens positions.
         occupied = 1 if args.batched is not None else args.batch_tokens
         args.ctx_prev = min(576, config.max_seq_len - occupied)
+    dtype_tag = f" dtype={args.dtype}" if args.dtype != "fp32" else ""
     if args.batched is not None:
         program = batched_timing_program(config, batch=args.batched,
-                                         ctx_prev=args.ctx_prev)
+                                         ctx_prev=args.ctx_prev,
+                                         quantize=quantize)
         subject = (f"{config.name} batched decode batch={args.batched} "
-                   f"ctx_prev={args.ctx_prev}")
+                   f"ctx_prev={args.ctx_prev}{dtype_tag}")
     else:
         program = timing_program(config, batch_tokens=args.batch_tokens,
-                                 ctx_prev=args.ctx_prev)
+                                 ctx_prev=args.ctx_prev,
+                                 quantize=quantize)
         subject = (f"{config.name} stage m={args.batch_tokens} "
-                   f"ctx_prev={args.ctx_prev}")
+                   f"ctx_prev={args.ctx_prev}{dtype_tag}")
     report = verify_program(program, layout=layout, subject=subject)
     if args.json:
         import json
@@ -350,8 +363,9 @@ def _cmd_generate(args) -> int:
     config = tiny_config(num_layers=args.layers, d_model=args.d_model,
                          num_heads=args.heads)
     platform = CxlPnmPlatform()
-    session = platform.session(weights=random_weights(config,
-                                                      seed=args.seed))
+    session = platform.session(
+        weights=random_weights(config, seed=args.seed),
+        quantize="int8" if args.dtype == "int8" else None)
     trace = session.generate(args.prompt, args.num_tokens)
     print(f"prompt {args.prompt} -> {trace.tokens}")
     print(f"{trace.instructions} instructions, device time "
@@ -392,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--in", dest="input_tokens", type=int, default=64)
     estimate.add_argument("--out", dest="output_tokens", type=int,
                           default=1024)
+    estimate.add_argument("--dtype", choices=["fp32", "int8"],
+                          default="fp32",
+                          help="weight precision (int8 halves the "
+                               "modeled weight stream)")
     estimate.set_defaults(func=_cmd_estimate)
 
     serve = sub.add_parser(
@@ -412,10 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--devices", type=int, default=1,
                        help="model replicas for the continuous engine "
                             "(appliance data parallelism)")
-    serve.add_argument("--kernel", choices=["event", "barrier"],
-                       default="event",
-                       help="continuous-engine kernel: event-driven "
-                            "(default) or the legacy lock-step barrier")
+    serve.add_argument("--dtype", choices=["fp32", "int8"],
+                       default="fp32",
+                       help="weight precision for step costs: int8 "
+                            "streams quantized weights at 1 byte/elem")
     serve.add_argument("--step-model", choices=["analytical", "sim"],
                        default="analytical",
                        help="continuous-batching step costs: analytical "
@@ -480,6 +498,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--batched", type=int, default=None, metavar="B",
                       help="verify the batched decode step for B "
                            "requests instead of a single stage")
+    lint.add_argument("--dtype", choices=["fp32", "int8"],
+                      default="fp32",
+                      help="verify the quantized int8 program instead "
+                           "of the fp32 one")
     lint.add_argument("--errors-only", action="store_true",
                       help="exit 2 only on errors (ignore warnings)")
     lint.add_argument("--json", action="store_true",
@@ -501,6 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--num-tokens", type=int, default=8)
     generate.add_argument("--prompt", type=int, nargs="+",
                           default=[1, 2, 3])
+    generate.add_argument("--dtype", choices=["fp32", "int8"],
+                          default="fp32",
+                          help="run the quantized weight path "
+                               "functionally")
     _add_observability_flags(generate)
     generate.set_defaults(func=_cmd_generate)
 

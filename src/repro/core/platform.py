@@ -70,18 +70,22 @@ class CxlPnmPlatform:
 
     def session(self, weights: Optional[ModelWeights] = None,
                 config: Optional[LLMConfig] = None,
-                seed: int = 0) -> InferenceSession:
+                seed: int = 0,
+                quantize: Optional[str] = None) -> InferenceSession:
         """Open a functional inference session (small models only).
 
         Pass trained ``weights``, or a ``config`` to initialize random
         parameters — the paper's platform loads real checkpoints; the
         reproduction's functional path targets miniature models.
+        ``quantize="int8"`` loads per-channel-quantized weights and runs
+        the int8 GEMV/GEMM path.
         """
         if weights is None:
             if config is None:
                 raise CapacityError("session needs weights or a config")
             weights = random_weights(config, seed=seed)
-        return InferenceSession(weights, device=self.device)
+        return InferenceSession(weights, device=self.device,
+                                quantize=quantize)
 
     def tensor_parallel_session(self, weights: Optional[ModelWeights] = None,
                                 config: Optional[LLMConfig] = None,

@@ -45,10 +45,9 @@ class DeviceFaultEvent:
     Attributes:
         kind: Stall (transient) or fail (permanent).
         at_s: Simulated time at which the fault strikes.  The event
-            kernel applies it at this exact time (a failure cancels the
+            kernel applies it at this exact time: a failure cancels the
             device's in-flight step; a stall elapses from here, idle or
-            busy); the legacy barrier kernel quantizes it to the first
-            global iteration boundary at or after this.
+            busy.
         device: Index of the afflicted device (serving-layer DP index).
         duration_s: Stall length; ignored for permanent failures.
     """

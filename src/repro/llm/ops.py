@@ -53,6 +53,10 @@ class OpSpec:
         input_bytes: Activation bytes read.
         output_bytes: Activation bytes written.
         m, n, k: Matmul dimensions (``[m x k] @ [k x n]``), zero otherwise.
+        elem_bytes: Element size the byte quantities were derived with,
+            so models that need element counts back (e.g. per-element
+            vector-lane costs) divide by the op's own width instead of
+            assuming one global dtype.
     """
 
     name: str
@@ -64,6 +68,7 @@ class OpSpec:
     m: int = 0
     n: int = 0
     k: int = 0
+    elem_bytes: int = 2
 
     @property
     def total_bytes(self) -> float:
@@ -95,7 +100,7 @@ def matmul_op(name: str, m: int, n: int, k: int, dtype_bytes: int,
     output_bytes = float(m * n * dtype_bytes)
     return OpSpec(name=name, kind=kind, flops=flops, weight_bytes=weight_bytes,
                   input_bytes=input_bytes, output_bytes=output_bytes,
-                  m=m, n=n, k=k)
+                  m=m, n=n, k=k, elem_bytes=dtype_bytes)
 
 
 def vector_op(name: str, kind: OpKind, elements: int, dtype_bytes: int,
@@ -115,6 +120,7 @@ def vector_op(name: str, kind: OpKind, elements: int, dtype_bytes: int,
         weight_bytes=0.0,
         input_bytes=float(num_inputs * elements * dtype_bytes),
         output_bytes=float(elements * dtype_bytes),
+        elem_bytes=dtype_bytes,
     )
 
 

@@ -137,7 +137,7 @@ class PnmPerfModel:
 
     def _vector_time(self, op: OpSpec) -> float:
         vpu = self.device.vpu_timing()
-        elements = op.output_bytes / 2.0  # modelled FP16 elements
+        elements = op.output_bytes / op.elem_bytes
         passes = {
             OpKind.SOFTMAX: 3.0, OpKind.LAYERNORM: 3.0, OpKind.GELU: 2.0,
         }.get(op.kind, 1.0)

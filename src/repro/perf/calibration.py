@@ -103,6 +103,24 @@ CXL_D2D_SW_OVERHEAD_S = 10e-6
 PNM_IDLE_WATTS = 20.0
 
 # --------------------------------------------------------------------------
+# Derived traffic quantities
+# --------------------------------------------------------------------------
+
+
+def weight_stream_bytes(num_params: float, elem_bytes: int) -> float:
+    """Parameter bytes streamed per generated token at ``elem_bytes``.
+
+    The gen stage reads every parameter once per token, so this is the
+    bandwidth-bound floor of decode traffic.  Parameterized by element
+    size so fp32/fp16/int8 share one code path: the int8 ablation calls
+    it with ``elem_bytes=1`` instead of assuming a fixed-width constant.
+    """
+    if elem_bytes < 1:
+        raise ValueError(f"elem_bytes must be >= 1, got {elem_bytes}")
+    return float(num_params) * elem_bytes
+
+
+# --------------------------------------------------------------------------
 # Paper anchor values (targets the benchmarks print alongside results)
 # --------------------------------------------------------------------------
 

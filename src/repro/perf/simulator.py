@@ -156,7 +156,7 @@ class AcceleratorSimulator:
     def _duration(self, instr: isa.Instruction, out_elems: int
                   ) -> Tuple[float, float, float]:
         """(busy s on the instruction's unit, memory s, memory bytes)."""
-        mem_bytes = instr.mem_elems() * self.dtype_bytes
+        mem_bytes = instr.mem_bytes(self.dtype_bytes)
         if self._mpu.gemm_via_tree:
             # DFX-style GEMM-as-row-sweeps re-streams the memory operand
             # once per activation row (see PnmPerfModel._matmul_time).
@@ -169,9 +169,9 @@ class AcceleratorSimulator:
         unit = instr.unit
         if unit is isa.Unit.DMA:
             if isinstance(instr, isa.DmaGather):
-                busy = self._dma.gather_time(
-                    len(instr.indices),
-                    instr.row_elems * self.dtype_bytes)
+                row_bytes = instr.row_elems * (
+                    1 if instr.dtype == "int8" else self.dtype_bytes)
+                busy = self._dma.gather_time(len(instr.indices), row_bytes)
             else:
                 busy = self._dma.transfer_time(mem_bytes)
             return busy, busy, mem_bytes
@@ -339,11 +339,15 @@ class SimulatedStepTimer:
         simulator: Scheduler to price steps with (defaults to a CXL-PNM
             device simulator).
         context_quantum: Context quantization step for memoization.
+        quantize: ``"int8"`` prices the int8 weight path (weights stream
+            at 1 byte/elem, scales/bias at full width) — the programs it
+            times are the ones the quantizing compiler emits.
     """
 
     config: LLMConfig
     simulator: Optional[AcceleratorSimulator] = None
     context_quantum: int = 32
+    quantize: Optional[str] = None
     _prefill_cache: Dict[int, float] = field(
         default_factory=dict, repr=False)
     _decode_cache: Dict[Tuple[int, int], float] = field(
@@ -362,7 +366,8 @@ class SimulatedStepTimer:
         cached = self._prefill_cache.get(input_len)
         if cached is None:
             from repro.accelerator.compiler import timing_program
-            program = timing_program(self.config, input_len, ctx_prev=0)
+            program = timing_program(self.config, input_len, ctx_prev=0,
+                                     quantize=self.quantize)
             cached = self.simulator.run(program).total_time_s
             self._prefill_cache[input_len] = cached
         return cached
@@ -381,7 +386,8 @@ class SimulatedStepTimer:
         if cached is None:
             from repro.accelerator.compiler import batched_timing_program
             program = batched_timing_program(self.config, batch,
-                                             ctx_prev=key[1] - 1)
+                                             ctx_prev=key[1] - 1,
+                                             quantize=self.quantize)
             cached = self.simulator.run(program).total_time_s
             self._decode_cache[key] = cached
         return cached

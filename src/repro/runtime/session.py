@@ -78,7 +78,8 @@ class InferenceSession:
                  simulate_timing: bool = True,
                  device: Optional[CXLPNMDevice] = None,
                  tracer=None, metrics=None, fast_path: bool = True,
-                 verify_static: bool = False):
+                 verify_static: bool = False,
+                 quantize: Optional[str] = None):
         config = weights.config
         if memory_bytes is None:
             # Parameters + caches + buffers, with fp32 functional storage
@@ -97,7 +98,8 @@ class InferenceSession:
                                    completion_mode=completion_mode,
                                    tracer=tracer, metrics=metrics,
                                    fast_path=fast_path)
-        self.layout: ModelLayout = load_model(self.memory, weights)
+        self.layout: ModelLayout = load_model(self.memory, weights,
+                                              quantize=quantize)
         self.compiler = StageCompiler(self.layout)
         self.program_cache = ProgramCache(
             self.compiler, verify_static=verify_static) \

@@ -34,6 +34,21 @@ class DailyOperation:
             else 0.0
 
 
+def daily_weight_traffic_bytes(tokens_per_day: float, num_params: float,
+                               elem_bytes: int = 2) -> float:
+    """Daily parameter-stream traffic for a decode-dominated service.
+
+    Element size is a parameter (not a baked-in constant) so the int8
+    TCO ablation and the fp16 baseline share this code path — the
+    quantized service moves ``elem_bytes=1`` bytes per parameter per
+    token instead of the full-width stream.
+    """
+    from repro.perf.calibration import weight_stream_bytes
+    if tokens_per_day < 0:
+        raise ConfigurationError("tokens_per_day cannot be negative")
+    return tokens_per_day * weight_stream_bytes(num_params, elem_bytes)
+
+
 def daily_operation(result: ApplianceResult,
                     duty_cycle: float = 1.0) -> DailyOperation:
     """Project an appliance result to continuous daily operation.

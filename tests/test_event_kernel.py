@@ -1,12 +1,14 @@
-"""Event-driven serving kernel: satellite-bug regressions and A/B.
+"""Event-driven serving kernel: satellite-bug regressions and timelines.
 
-Each regression pins a timing bug the global iteration barrier used to
-hide (idle-stall deferral, completion-time inflation, dead-device
-capacity, ``id()``-keyed failover attribution), with the hand-computed
-timeline in comments.  The A/B suite then asserts the event kernel and
-the legacy ``engine="barrier"`` kernel agree on single-device
-workloads — timelines bit-identical; ``max_occupancy`` may differ by
-the documented transient-overlap delta (DESIGN.md).
+Each regression pins a timing bug the retired global-iteration barrier
+kernel used to hide (idle-stall deferral, completion-time inflation,
+dead-device capacity, ``id()``-keyed failover attribution), with the
+hand-computed timeline in comments.  The timeline suite then asserts
+the event kernel against fully hand-computed schedules — the cases
+that used to A/B against ``engine="barrier"`` now carry the expected
+numbers directly (the two kernels were bit-identical on these
+workloads when the barrier retired, so the constants are the agreed
+values).
 """
 
 import pytest
@@ -53,11 +55,9 @@ def _requests(n, input_len=4, output_len=3):
             for i in range(n)]
 
 
-def _run(engine, step=None, requests=None, arrivals=None, memory=None,
-         **kwargs):
+def _run(step=None, requests=None, arrivals=None, memory=None, **kwargs):
     scheduler = ContinuousBatchScheduler(
-        step or ConstStep(), CFG, memory or _memory_for(8),
-        engine=engine, **kwargs)
+        step or ConstStep(), CFG, memory or _memory_for(8), **kwargs)
     return scheduler.run(requests or _requests(4), arrivals)
 
 
@@ -70,13 +70,12 @@ class TestIdleStallElapses:
     # decodes -> done at 102.
     PLAN = FaultPlan().with_device_stall(at_s=10.0, duration_s=3.0)
 
-    def _stalled(self, engine, arrivals):
+    def _stalled(self, arrivals):
         with chaos(self.PLAN):
-            return _run(engine, requests=_requests(2),
-                        arrivals=arrivals)
+            return _run(requests=_requests(2), arrivals=arrivals)
 
     def test_stall_absorbed_by_idle_time(self):
-        stats = self._stalled("event", [0.0, 100.0])
+        stats = self._stalled([0.0, 100.0])
         late = max(stats.completed, key=lambda c: c.finish_s)
         assert late.start_s == pytest.approx(100.0)
         assert late.queue_wait_s == 0.0
@@ -86,27 +85,19 @@ class TestIdleStallElapses:
     def test_partially_absorbed_stall_delays_the_remainder(self):
         # r1 arrives at t=12, one second into the idle stall window
         # [10, 13]: its unit starts at 13, not 12 (and not 15).
-        stats = self._stalled("event", [0.0, 12.0])
+        stats = self._stalled([0.0, 12.0])
         late = max(stats.completed, key=lambda c: c.finish_s)
         assert late.start_s == pytest.approx(13.0)
         assert late.queue_wait_s == pytest.approx(1.0)
 
     def test_busy_stall_still_extends_makespan(self):
-        # The pre-fix behaviour that was correct stays correct: a
-        # stall during a busy stretch pushes everything after it out
+        # A stall during a busy stretch pushes everything after it out
         # by its full duration.
         plan = FaultPlan().with_device_stall(at_s=1.2, duration_s=3.0)
-        base = _run("event")
+        base = _run()
         with chaos(plan):
-            stalled = _run("event")
+            stalled = _run()
         assert stalled.makespan_s == pytest.approx(base.makespan_s + 3.0)
-
-    def test_barrier_kernel_still_defers_the_stall(self):
-        # The documented failing-before: the barrier kernel parks the
-        # idle stall in stall_pending and charges it to r1's first
-        # busy iteration, inflating the makespan by the full 3 s.
-        stats = self._stalled("barrier", [0.0, 100.0])
-        assert stats.makespan_s == pytest.approx(105.0)
 
 
 class TestFinishAtOwnDevice:
@@ -114,11 +105,10 @@ class TestFinishAtOwnDevice:
 
     # Two prefill-only requests at t=0 on two devices, prefill cost
     # = input_len: r0=(8,1) lands on device 0 and ends at 8, r1=(2,1)
-    # lands on device 1 and ends at 2.  The old code stamped both with
-    # the slowest device's iteration end (8).
-    @pytest.mark.parametrize("engine", ["event", "barrier"])
-    def test_fast_device_finish_not_inflated(self, engine):
-        stats = _run(engine, step=LenStep(),
+    # lands on device 1 and ends at 2.  The pre-event-kernel code
+    # stamped both with the slowest device's iteration end (8).
+    def test_fast_device_finish_not_inflated(self):
+        stats = _run(step=LenStep(),
                      requests=[InferenceRequest(8, 1, request_id=0),
                                InferenceRequest(2, 1, request_id=1)],
                      memory=_memory_for(4), num_devices=2)
@@ -145,7 +135,7 @@ class TestDeadDeviceCapacity:
 
     def _stats(self):
         with chaos(self.PLAN):
-            return _run("event", step=ConstStep(prefill=1.0, decode=1.0),
+            return _run(step=ConstStep(prefill=1.0, decode=1.0),
                         requests=_requests(4), num_devices=2,
                         max_batch=2)
 
@@ -168,7 +158,7 @@ class TestDeadDeviceCapacity:
         assert stats.instance_utilization > naive
 
     def test_no_faults_means_no_lost_capacity(self):
-        stats = _run("event")
+        stats = _run()
         assert stats.lost_device_s == 0.0
 
 
@@ -180,13 +170,12 @@ class TestFailoverAttribution:
     # requeued when it fails.  The old id()-keyed requeue_info table
     # overwrote one copy's entry, dropping a failover count and a
     # latency sample.
-    @pytest.mark.parametrize("engine", ["event", "barrier"])
-    def test_duplicate_object_failovers_both_counted(self, engine):
+    def test_duplicate_object_failovers_both_counted(self):
         dup = InferenceRequest(4, 3, request_id=1)
         big = InferenceRequest(8, 6, request_id=0)
         plan = FaultPlan().with_device_failure(at_s=0.5, device=1)
         with chaos(plan) as state:
-            stats = _run(engine, requests=[big, dup, dup],
+            stats = _run(requests=[big, dup, dup],
                          memory=_memory_for(4), num_devices=2)
         assert len(stats.completed) == 3
         assert stats.failovers == 2
@@ -196,65 +185,65 @@ class TestFailoverAttribution:
         assert state.counters.requests_requeued == 2
 
 
-class TestKernelAB:
-    """Event and barrier kernels agree on single-device workloads."""
-
-    #: The one documented single-device delta: the event kernel admits
-    #: at true arrival time, so a successor can overlap its
-    #: predecessor's final in-flight step; the barrier removes
-    #: completions before the next boundary's admissions ever see
-    #: them.  Everything else must match exactly.
-    DELTA_KEYS = {"max_occupancy"}
-
-    def _pair(self, requests, arrivals, **kwargs):
-        out = []
-        for engine in ("event", "barrier"):
-            stats = _run(engine, requests=requests, arrivals=arrivals,
-                         **kwargs)
-            out.append((stats.as_dict(),
-                        [(c.request.request_id, c.start_s, c.finish_s,
-                          c.first_token_s) for c in stats.completed]))
-        return out
+class TestEventTimelines:
+    """Hand-computed single-device schedules (ex kernel-A/B cases)."""
 
     def test_closed_batch_exact(self):
-        (event, event_tl), (barrier, barrier_tl) = self._pair(
-            _requests(6), None)
-        assert event == barrier
-        assert event_tl == barrier_tl
+        # 6 requests (4,3) all at t=0, prefill=1, decode=0.5: one
+        # prefill-bearing unit runs the six prefills back to back
+        # ([0,1]..[5,6], first tokens at 1..6), then the whole batch
+        # decodes its remaining 2 tokens in steps [6,6.5],[6.5,7].
+        stats = _run(requests=_requests(6))
+        assert len(stats.completed) == 6
+        by_id = {c.request.request_id: c for c in stats.completed}
+        for i in range(6):
+            assert by_id[i].start_s == pytest.approx(0.0)
+            assert by_id[i].first_token_s == pytest.approx(float(i + 1))
+            assert by_id[i].finish_s == pytest.approx(7.0)
+        assert stats.makespan_s == pytest.approx(7.0)
+        assert stats.max_occupancy == 6
+
+    def test_kv_pressure_serializes_admission(self):
+        # KV room for exactly one (4,3) request: r1 waits until r0's
+        # reservation frees at its completion.  r0: prefill [0,1],
+        # decodes [1,1.5],[1.5,2].  r1 admitted at 2: prefill [2,3],
+        # decodes [3,3.5],[3.5,4].
+        stats = _run(requests=_requests(2), memory=_memory_for(1, 4, 3))
+        by_id = {c.request.request_id: c for c in stats.completed}
+        assert by_id[0].start_s == pytest.approx(0.0)
+        assert by_id[0].finish_s == pytest.approx(2.0)
+        assert by_id[1].start_s == pytest.approx(2.0)
+        assert by_id[1].first_token_s == pytest.approx(3.0)
+        assert by_id[1].finish_s == pytest.approx(4.0)
+        assert stats.makespan_s == pytest.approx(4.0)
+        assert stats.max_occupancy == 1
 
     @pytest.mark.parametrize("seed,rate", [(0, 0.5), (1, 2.0), (2, 8.0)])
-    def test_poisson_streams_exact(self, seed, rate):
+    def test_poisson_streams_deterministic_and_fcfs(self, seed, rate):
         arrivals = poisson_arrivals(10, rate, seed=seed)
-        (event, event_tl), (barrier, barrier_tl) = self._pair(
-            _requests(10), arrivals)
-        assert event_tl == barrier_tl  # bit-identical, not approx
-        for key in event:
-            if key in self.DELTA_KEYS:
-                assert event[key] >= barrier[key]
-            else:
-                assert event[key] == barrier[key], key
-
-    def test_kv_pressure_exact(self):
-        arrivals = poisson_arrivals(8, 2.0, seed=5)
-        (event, event_tl), (barrier, barrier_tl) = self._pair(
-            _requests(8), arrivals, memory=_memory_for(2, 4, 3))
-        assert event == barrier  # tight KV: no transient overlap either
-        assert event_tl == barrier_tl
+        runs = []
+        for _ in range(2):
+            stats = _run(requests=_requests(10), arrivals=arrivals)
+            runs.append([(c.request.request_id, c.start_s, c.finish_s,
+                          c.first_token_s) for c in stats.completed])
+        assert runs[0] == runs[1]  # bit-identical, not approx
+        # FCFS on one device: admission order follows arrival order.
+        starts = sorted((start, rid) for rid, start, _f, _t in runs[0])
+        assert [rid for _s, rid in starts] == sorted(
+            range(10), key=lambda i: (arrivals[i], i))
 
     def test_mid_macro_arrival_truncates_to_step_boundary(self):
         # r0=(4,5): prefill [0,1], decode macro of 4 steps ending at
-        # 1.5/2.0/2.5/3.0.  r1 arrives at 1.7 mid-macro: the event
-        # kernel cuts the macro at 2.0 and starts r1's prefill there —
-        # exactly where the barrier kernel admits it.
+        # 1.5/2.0/2.5/3.0.  r1 arrives at 1.7 mid-macro: the kernel
+        # cuts the macro at the next step boundary (2.0) and starts
+        # r1's prefill there.
         requests = [InferenceRequest(4, 5, request_id=0),
                     InferenceRequest(4, 3, request_id=1)]
-        for engine in ("event", "barrier"):
-            stats = _run(engine, requests=requests,
-                         arrivals=[0.0, 1.7])
-            r1 = next(c for c in stats.completed
-                      if c.request.request_id == 1)
-            assert r1.start_s == pytest.approx(2.0), engine
-            assert r1.first_token_s == pytest.approx(3.0), engine
+        stats = _run(requests=requests, arrivals=[0.0, 1.7])
+        r1 = next(c for c in stats.completed
+                  if c.request.request_id == 1)
+        assert r1.start_s == pytest.approx(2.0)
+        assert r1.first_token_s == pytest.approx(3.0)
 
 
 class TestScaleSmoke:
@@ -263,7 +252,7 @@ class TestScaleSmoke:
         arrivals = poisson_arrivals(600, 20.0, seed=9)
         runs = []
         for _ in range(2):
-            stats = _run("event", requests=requests, arrivals=arrivals,
+            stats = _run(requests=requests, arrivals=arrivals,
                          num_devices=4, max_batch=4)
             runs.append(stats.as_dict())
         assert runs[0] == runs[1]
