@@ -9,6 +9,7 @@ from repro.appliance.continuous import (
     ContinuousBatchScheduler,
     ContinuousBatchStats,
     FailoverEvent,
+    TenantClass,
     simulated_step_model,
 )
 from repro.appliance.pipeline import PipelinePlan
@@ -34,6 +35,7 @@ __all__ = [
     "RejectedRequest",
     "RequestScheduler",
     "ServiceStats",
+    "TenantClass",
     "poisson_arrivals",
     "simulated_step_model",
     "timer_service",

@@ -62,7 +62,8 @@ class GpuAppliance:
 
     def serve(self, config: LLMConfig, requests: Sequence,
               arrival_times: Optional[Sequence[float]] = None, *,
-              max_batch: Optional[int] = None, step=None):
+              max_batch: Optional[int] = None, step=None,
+              classes=None, slo_admission: bool = False):
         """Serve a request stream with continuous batching on this
         appliance (one model replica per GPU, appliance-level DP).
 
@@ -71,7 +72,10 @@ class GpuAppliance:
         replica timelines and returns its
         :class:`~repro.appliance.continuous.ContinuousBatchStats`.
         Pass ``step`` to override the default analytical
-        :class:`~repro.perf.analytical.BatchStepTimer`.
+        :class:`~repro.perf.analytical.BatchStepTimer`; ``classes``
+        (a sequence of :class:`~repro.appliance.continuous.
+        TenantClass`) and ``slo_admission`` configure the multi-tenant
+        front end.
         """
         from repro.appliance.continuous import ContinuousBatchScheduler
         from repro.perf.analytical import BatchStepTimer
@@ -79,7 +83,8 @@ class GpuAppliance:
             step = BatchStepTimer(config, GpuPerfModel(self.spec))
         scheduler = ContinuousBatchScheduler(
             step, config, self.spec.memory_bytes, max_batch=max_batch,
-            num_devices=self.num_devices)
+            num_devices=self.num_devices, classes=classes,
+            slo_admission=slo_admission)
         return scheduler.run(requests, arrival_times)
 
 
@@ -119,7 +124,8 @@ class PnmAppliance:
 
     def serve(self, config: LLMConfig, requests: Sequence,
               arrival_times: Optional[Sequence[float]] = None, *,
-              max_batch: Optional[int] = None, step=None):
+              max_batch: Optional[int] = None, step=None,
+              classes=None, slo_admission: bool = False):
         """Serve a request stream with continuous batching on this
         appliance (one model replica per CXL-PNM card, appliance DP).
 
@@ -130,7 +136,10 @@ class PnmAppliance:
         Pass ``step`` to override the default analytical
         :class:`~repro.perf.analytical.BatchStepTimer` (e.g. the
         instruction-level
-        :func:`~repro.appliance.continuous.simulated_step_model`).
+        :func:`~repro.appliance.continuous.simulated_step_model`);
+        ``classes`` (a sequence of :class:`~repro.appliance.continuous.
+        TenantClass`) and ``slo_admission`` configure the multi-tenant
+        front end.
         """
         from repro.appliance.continuous import ContinuousBatchScheduler
         from repro.perf.analytical import BatchStepTimer
@@ -138,7 +147,8 @@ class PnmAppliance:
             step = BatchStepTimer(config, PnmPerfModel(self.device))
         scheduler = ContinuousBatchScheduler(
             step, config, self.device.memory_capacity,
-            max_batch=max_batch, num_devices=self.num_devices)
+            max_batch=max_batch, num_devices=self.num_devices,
+            classes=classes, slo_admission=slo_admission)
         return scheduler.run(requests, arrival_times)
 
 

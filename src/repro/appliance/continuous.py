@@ -38,6 +38,28 @@ Scheduling semantics:
 * **Completion** — a request reaching ``output_len`` leaves and frees
   its KV reservation at its own device's step boundary.
 
+Multi-tenant serving layers three policies over the same kernel, all
+inert unless configured (the default single-class path is bit-identical
+to plain FCFS):
+
+* **Tenant classes** (:class:`TenantClass`) — requests carry a
+  ``tenant_class`` name resolved against the scheduler's class table.
+  Classes admit in strict priority tiers; within a tier, weighted fair
+  queuing picks the class with the least weighted service (virtual
+  time = admitted tokens / weight), so a weight-4 class gets 4x the
+  admissions of a weight-1 sibling under contention.
+* **Preemption** — when a class head cannot fit and strictly
+  lower-priority requests are running, the cheapest eviction set
+  (fewest victims, least KV freed, lowest device index) is preempted:
+  victims lose their KV reservation, return to the *front* of their
+  class queue, and restart from prefill on re-admission (the same
+  restart semantics as failover requeue).
+* **SLO admission** (``slo_admission=True``) — per-class TTFT/TBT
+  targets shed requests whose projected service level cannot be met,
+  via the typed :class:`~repro.errors.AdmissionError` path.  Goodput
+  (tokens of requests that met their class targets) is reported next
+  to raw throughput in :class:`ContinuousBatchStats`.
+
 Per-request time-to-first-token and time-between-tokens come out of the
 same timeline, alongside the familiar :class:`ServiceStats` aggregates.
 Observability (per-device-step sim spans on ``scheduler.dev<i>``
@@ -50,8 +72,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Deque, Dict, List, Optional, Protocol, Sequence, Tuple,
+)
 
 import numpy as np
 
@@ -61,12 +86,17 @@ from repro.appliance.scheduler import (
     ServiceStats,
     infeasible_error,
 )
-from repro.errors import ConfigurationError, DeviceLostError, SimulationError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeviceLostError,
+    SimulationError,
+)
 from repro.faults.context import get_faults
 from repro.faults.plan import DeviceFaultEvent, DeviceFaultKind
 from repro.llm.config import LLMConfig
 from repro.llm.kvcache import kv_spare_bytes, peak_kv_bytes
-from repro.llm.workload import InferenceRequest
+from repro.llm.workload import DEFAULT_TENANT_CLASS, InferenceRequest
 from repro.obs.context import get_metrics, get_tracer
 
 #: Device-step sim-spans traced per run; long runs have tens of
@@ -138,6 +168,68 @@ class FailoverEvent:
     requeued: int
 
 
+@dataclass(frozen=True)
+class TenantClass:
+    """One tenant priority class: scheduling share and SLO targets.
+
+    Attributes:
+        name: Class name; requests select it via
+            ``InferenceRequest.tenant_class``.  Unknown names resolve
+            to a default-parameter class, so a class table is never
+            required to be exhaustive.
+        weight: Fair-share weight within a priority tier.  Admission
+            picks the eligible class with the least weighted service
+            (admitted tokens / weight), so a weight-4 class receives
+            4x the admitted tokens of a weight-1 sibling under
+            sustained contention.
+        priority: Strict tier; higher admits first, and may preempt
+            strictly lower tiers under KV pressure.  Equal-priority
+            classes never preempt each other.
+        ttft_target_s: Optional time-to-first-token SLO target.  With
+            ``slo_admission=True``, requests whose projected TTFT
+            exceeds it are shed with a typed
+            :class:`~repro.errors.AdmissionError`; completed requests
+            beating it count toward goodput.
+        tbt_target_s: Optional mean time-between-tokens SLO target,
+            handled the same way.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    ttft_target_s: Optional[float] = None
+    tbt_target_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant class name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"class {self.name}: weight={self.weight} must be > 0")
+        for label, value in (("ttft_target_s", self.ttft_target_s),
+                             ("tbt_target_s", self.tbt_target_s)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"class {self.name}: {label}={value} must be > 0")
+
+    def met_by(self, completed: CompletedRequest) -> bool:
+        """Did a completed request meet this class's SLO targets?
+
+        Targets that were never set are trivially met; a missing TTFT
+        measurement fails a TTFT target (the request never produced a
+        tracked first token within the run).
+        """
+        if self.ttft_target_s is not None:
+            ttft = completed.ttft_s
+            if ttft is None or ttft > self.ttft_target_s:
+                return False
+        if self.tbt_target_s is not None:
+            tbt = completed.mean_tbt_s
+            if tbt is not None and tbt > self.tbt_target_s:
+                return False
+        return True
+
+
 @dataclass(eq=False)
 class _Running:
     """In-flight request state inside a device's batch (identity
@@ -160,6 +252,10 @@ class _Running:
     failovers: int = 0
     first_token_s: Optional[float] = None
     requeued_at: Optional[float] = None
+    seq: int = 0
+    preempted: int = 0
+    cls_name: str = DEFAULT_TENANT_CLASS
+    prio: int = 0
 
     @property
     def context_len(self) -> int:
@@ -171,8 +267,128 @@ class _Running:
         return self.generated >= self.request.output_len
 
 
-#: Waiting-queue entry: (request, arrival_s, failovers, requeued_at).
-_QueueEntry = Tuple[InferenceRequest, float, int, Optional[float]]
+@dataclass
+class _QueueItem:
+    """One waiting request with its attribution state.
+
+    ``seq`` is the request's stable position in the arrival-sorted
+    input (used for deterministic tie-breaks and wake-up dedup);
+    ``requeued_at`` is set only by device-failure requeue and drives
+    failover-latency accounting at re-admission — preemption requeue
+    deliberately leaves it ``None`` so preemptions never pollute the
+    failover latency distribution.
+    """
+
+    request: InferenceRequest
+    arrival_s: float
+    seq: int
+    failovers: int = 0
+    preemptions: int = 0
+    requeued_at: Optional[float] = None
+
+
+class _WaitQueue:
+    """Per-class FIFO queues with weighted-fair virtual time.
+
+    Each tenant class keeps its own FIFO (arrival order, with
+    failover/preemption victims pushed back to the front) and a
+    weighted service counter.  With a single class this degenerates to
+    the plain FCFS waiting list: selection always returns the one
+    class, in arrival order.
+    """
+
+    def __init__(self, items: Sequence[_QueueItem],
+                 classes: Dict[str, TenantClass]) -> None:
+        self.classes: Dict[str, TenantClass] = dict(classes)
+        self.queues: Dict[str, Deque[_QueueItem]] = {}
+        self.service: Dict[str, float] = {}
+        for item in items:
+            self.push_back(item)
+
+    def cls(self, name: str) -> TenantClass:
+        """The class record for ``name``, creating a default lazily."""
+        tc = self.classes.get(name)
+        if tc is None:
+            tc = TenantClass(name=name)
+            self.classes[name] = tc
+        return tc
+
+    def _queue_for(self, name: str) -> Deque[_QueueItem]:
+        dq = self.queues.get(name)
+        if dq is None:
+            self.cls(name)
+            dq = self.queues[name] = deque()
+            self.service.setdefault(name, 0.0)
+        return dq
+
+    def push_back(self, item: _QueueItem) -> None:
+        self._queue_for(item.request.tenant_class).append(item)
+
+    def push_front(self, items: Sequence[_QueueItem]) -> None:
+        """Requeue victims at their class front, preserving their order."""
+        for item in reversed(items):
+            self._queue_for(item.request.tenant_class).appendleft(item)
+
+    def __len__(self) -> int:
+        return sum(len(dq) for dq in self.queues.values())
+
+    def peek(self, name: str) -> _QueueItem:
+        return self.queues[name][0]
+
+    def pop(self, name: str) -> _QueueItem:
+        return self.queues[name].popleft()
+
+    def charge(self, name: str, tokens: int) -> None:
+        self.service[name] += tokens / self.cls(name).weight
+
+    def refund(self, name: str, tokens: int) -> None:
+        self.service[name] -= tokens / self.cls(name).weight
+
+    def select(self, now: float, blocked: set,
+               prio_floor: Optional[int]) -> Optional[str]:
+        """Next class to try: highest tier, then least weighted service.
+
+        Skips empty queues, classes already blocked this admission
+        pass, classes below the blocking tier's priority floor (a
+        blocked class stalls every strictly lower tier, never its
+        equal-priority siblings), and classes whose head has not
+        arrived yet.  Name breaks exact service ties deterministically.
+        """
+        best: Optional[str] = None
+        best_key: Optional[Tuple[int, float, str]] = None
+        for name, dq in self.queues.items():
+            if not dq or name in blocked:
+                continue
+            tc = self.cls(name)
+            if prio_floor is not None and tc.priority < prio_floor:
+                continue
+            if dq[0].arrival_s > now:
+                continue
+            key = (-tc.priority, self.service[name], name)
+            if best_key is None or key < best_key:
+                best, best_key = name, key
+        return best
+
+    def earliest_head_arrival(self) -> Optional[float]:
+        heads = [dq[0].arrival_s for dq in self.queues.values() if dq]
+        return min(heads) if heads else None
+
+    def next_wakeup(self, now: float) -> Optional[Tuple[float, int]]:
+        """``(arrival, seq)`` of the earliest future class head."""
+        best: Optional[Tuple[float, int]] = None
+        for dq in self.queues.values():
+            if dq and dq[0].arrival_s > now:
+                key = (dq[0].arrival_s, dq[0].seq)
+                if best is None or key < best:
+                    best = key
+        return best
+
+    def drain(self) -> List[_QueueItem]:
+        """Remove and return everything, per-class FIFO order."""
+        items = [item for dq in self.queues.values() for item in dq]
+        for dq in self.queues.values():
+            dq.clear()
+        return items
 
 
 @dataclass
@@ -201,6 +417,82 @@ class ContinuousBatchStats(ServiceStats):
     lost_device_s: float = 0.0
     failover_events: List[FailoverEvent] = field(default_factory=list)
     failover_latencies_s: List[float] = field(default_factory=list)
+    preemptions: int = 0
+    tenant_classes: Dict[str, TenantClass] = field(default_factory=dict)
+
+    def request_class(self, request: InferenceRequest) -> TenantClass:
+        """The class a request resolved to (default-parameter if unknown)."""
+        tc = self.tenant_classes.get(request.tenant_class)
+        return tc if tc is not None else TenantClass(
+            name=request.tenant_class)
+
+    def met_slo(self, completed: CompletedRequest) -> bool:
+        """Did this completed request meet its class's SLO targets?"""
+        return self.request_class(completed.request).met_by(completed)
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Output tokens of SLO-meeting requests per makespan second.
+
+        With no SLO targets configured every completed request counts,
+        so goodput equals :attr:`throughput_tokens_per_s`; targets pull
+        it down by exactly the tokens of the requests that missed.
+        """
+        if not self.makespan_s:
+            return 0.0
+        good = sum(c.request.output_len for c in self.completed
+                   if self.met_slo(c))
+        return good / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests meeting their class targets."""
+        if not self.completed:
+            return 0.0
+        met = sum(1 for c in self.completed if self.met_slo(c))
+        return met / len(self.completed)
+
+    def class_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant-class service report, sorted by class name.
+
+        Covers every class that appears in the class table, the
+        completed list, or the rejected list — so a class that was
+        entirely shed still shows up with its rejection count.
+        """
+        names = sorted(set(self.tenant_classes)
+                       | {c.request.tenant_class for c in self.completed}
+                       | {r.request.tenant_class for r in self.rejected})
+        span = self.makespan_s
+        out: Dict[str, Dict[str, float]] = {}
+        for name in names:
+            done = [c for c in self.completed
+                    if c.request.tenant_class == name]
+            met = [c for c in done if self.met_slo(c)]
+            ttfts = [c.ttft_s for c in done if c.ttft_s is not None]
+            tbts = [c.mean_tbt_s for c in done
+                    if c.mean_tbt_s is not None]
+            out[name] = {
+                "completed": float(len(done)),
+                "rejected": float(sum(
+                    1 for r in self.rejected
+                    if r.request.tenant_class == name)),
+                "preempted_requests": float(sum(
+                    1 for c in done if c.preemptions)),
+                "slo_attainment":
+                    len(met) / len(done) if done else 0.0,
+                "throughput_tokens_per_s":
+                    sum(c.request.output_len for c in done) / span
+                    if span else 0.0,
+                "goodput_tokens_per_s":
+                    sum(c.request.output_len for c in met) / span
+                    if span else 0.0,
+                "mean_ttft_s":
+                    float(np.mean(ttfts)) if ttfts else 0.0,
+                "p95_ttft_s":
+                    float(np.percentile(ttfts, 95)) if ttfts else 0.0,
+                "mean_tbt_s": float(np.mean(tbts)) if tbts else 0.0,
+            }
+        return out
 
     @property
     def failovers(self) -> int:
@@ -278,6 +570,9 @@ class ContinuousBatchStats(ServiceStats):
             "lost_device_s": self.lost_device_s,
             "failovers": float(self.failovers),
             "mean_failover_latency_s": self.mean_failover_latency_s,
+            "preemptions": float(self.preemptions),
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "slo_attainment": self.slo_attainment,
         })
         return out
 
@@ -304,6 +599,16 @@ class ContinuousBatchScheduler:
             :class:`~repro.faults.FaultPlan` stall or permanently fail
             individual devices — the engine requeues the victims and
             re-admits them against surviving capacity.
+        classes: Optional tenant class table (a sequence of
+            :class:`TenantClass`).  Requests resolve their
+            ``tenant_class`` name against it; unknown names get
+            default-parameter classes.  With no table (or one class)
+            scheduling is plain FCFS.
+        slo_admission: When true, classes with TTFT/TBT targets shed
+            requests whose projected service level cannot be met, via
+            the typed :class:`~repro.errors.AdmissionError` path.
+            Requests already admitted once (failover or preemption
+            victims) are never shed — their work is preserved.
         tracer: Optional span tracer; defaults to the ambient/no-op one.
         metrics: Optional metrics registry, resolved the same way.
     """
@@ -313,6 +618,8 @@ class ContinuousBatchScheduler:
     memory_bytes: int
     max_batch: Optional[int] = None
     num_devices: int = 1
+    classes: Optional[Sequence[TenantClass]] = None
+    slo_admission: bool = False
     tracer: Optional[object] = None
     metrics: Optional[object] = None
 
@@ -321,10 +628,21 @@ class ContinuousBatchScheduler:
             raise ConfigurationError("max_batch must be >= 1")
         if self.num_devices < 1:
             raise ConfigurationError("need at least one device")
+        if self.classes is not None:
+            names = [tc.name for tc in self.classes]
+            if len(set(names)) != len(names):
+                raise ConfigurationError(
+                    f"duplicate tenant class names: {sorted(names)}")
         if kv_spare_bytes(self.config, self.memory_bytes) <= 0:
             raise ConfigurationError(
                 f"{self.config.name} parameters leave no KV room in "
                 f"{self.memory_bytes} bytes")
+
+    def class_table(self) -> Dict[str, TenantClass]:
+        """The configured classes as a name-keyed table (may be empty)."""
+        if not self.classes:
+            return {}
+        return {tc.name: tc for tc in self.classes}
 
     def run(self, requests: Sequence[InferenceRequest],
             arrival_times: Optional[Sequence[float]] = None
@@ -348,10 +666,11 @@ class ContinuousBatchScheduler:
         faults = get_faults()
         events: Sequence[DeviceFaultEvent] = \
             faults.device_events if faults is not None else ()
-        waiting: List[_QueueEntry] = [
-            (r, a, 0, None)
-            for r, a in sorted(zip(requests, arrival_times),
-                               key=lambda p: p[1])]
+        waiting = [
+            _QueueItem(request=r, arrival_s=a, seq=i)
+            for i, (r, a) in enumerate(
+                sorted(zip(requests, arrival_times),
+                       key=lambda p: p[1]))]
         with tracer.span("scheduler.continuous", category="scheduler",
                          requests=len(requests),
                          memory_gb=self.memory_bytes / 1e9):
@@ -417,11 +736,11 @@ class _EventKernel:
     """
 
     def __init__(self, sched: ContinuousBatchScheduler,
-                 waiting: List[_QueueEntry], tracer, metrics, faults,
+                 waiting: List[_QueueItem], tracer, metrics, faults,
                  events: Sequence[DeviceFaultEvent]) -> None:
         self.sched = sched
         self.step = sched.step
-        self.waiting = waiting
+        self.queue = _WaitQueue(waiting, sched.class_table())
         self.tracer = tracer
         self.metrics = metrics
         self.faults = faults
@@ -430,7 +749,6 @@ class _EventKernel:
         self.devs = [_Device(d) for d in range(sched.num_devices)]
         self.heap: List[tuple] = []
         self.seq = itertools.count()
-        self.head = 0
         self.fault_idx = 0
         self.free_slots: List[int] = []
         self.next_slot = 0
@@ -445,6 +763,7 @@ class _EventKernel:
         self.occupancy_time_s = 0.0
         self.stall_total_s = 0.0
         self.devices_failed = 0
+        self.preempted = 0
         self.units_traced = 0
         self._arrival_key: Optional[Tuple[int, float]] = None
 
@@ -455,15 +774,18 @@ class _EventKernel:
             heapq.heappush(self.heap, (event.at_s, _PRIO_FAULT,
                                        next(self.seq), idx, 0))
         self._admit_and_start(0.0)
-        while self.heap or self.head < len(self.waiting):
+        while self.heap or len(self.queue):
             if not self.heap:
-                # Only future arrivals remain; jump to the queue head.
-                arrival = self.waiting[self.head][1]
+                # Only future arrivals remain; jump to the earliest
+                # class head.
+                arrival = self.queue.earliest_head_arrival()
+                if arrival is None:  # pragma: no cover - invariant
+                    break
                 if not any(dev.busy for dev in self.devs):
                     self._admit_and_start(arrival)
-                    if not self.heap \
-                            and self.head < len(self.waiting) \
-                            and self.waiting[self.head][1] <= arrival:
+                    nxt = self.queue.earliest_head_arrival()
+                    if not self.heap and nxt is not None \
+                            and nxt <= arrival:
                         raise SimulationError(
                             "admission deadlock: waiting head can "
                             "never be admitted")
@@ -491,7 +813,9 @@ class _EventKernel:
             devices_failed=self.devices_failed,
             lost_device_s=lost,
             failover_events=self.failover_events,
-            failover_latencies_s=self.failover_latencies)
+            failover_latencies_s=self.failover_latencies,
+            preemptions=self.preempted,
+            tenant_classes=dict(self.queue.classes))
 
     # -- step planning -------------------------------------------------
 
@@ -679,7 +1003,8 @@ class _EventKernel:
                 start_s=entry.admitted_s,
                 finish_s=now,
                 first_token_s=entry.first_token_s,
-                failovers=entry.failovers))
+                failovers=entry.failovers,
+                preemptions=entry.preempted))
             if self.tracer.enabled:
                 self.tracer.sim_span(
                     "request", start_s=entry.admitted_s,
@@ -742,9 +1067,13 @@ class _EventKernel:
             dev.kv_reserved -= victim.kv_reserved
             heapq.heappush(self.free_slots, victim.slot)
             self.in_flight -= 1
-        self.waiting[self.head:self.head] = [
-            (v.request, v.arrival_s, v.failovers + 1, now)
-            for v in victims]
+        self.queue.push_front([
+            _QueueItem(request=v.request, arrival_s=v.arrival_s,
+                       seq=v.seq, failovers=v.failovers + 1,
+                       preemptions=v.preempted, requeued_at=now)
+            for v in victims])
+        for v in victims:
+            self.queue.refund(v.cls_name, v.request.total_tokens)
         self.failover_events.append(FailoverEvent(
             at_s=now, device=event.device, requeued=len(victims)))
         if self.faults is not None:
@@ -759,15 +1088,14 @@ class _EventKernel:
                 args={"device": event.device,
                       "requeued": len(victims)})
         if not any(d.alive for d in self.devs):
-            for request, arrival, _fo, _rq in self.waiting[self.head:]:
+            for item in self.queue.drain():
                 error = DeviceLostError(
                     "all devices failed; serving capacity lost")
                 self.rejected.append(RejectedRequest(
-                    request=request, arrival_s=arrival,
+                    request=item.request, arrival_s=item.arrival_s,
                     reason=str(error), error=error))
                 if self.metrics.enabled:
                     self.metrics.counter("scheduler.rejected").inc()
-            self.head = len(self.waiting)
             self.heap.clear()
             return
         self._admit_and_start(now)
@@ -787,8 +1115,157 @@ class _EventKernel:
                 best = dev
         return best
 
+    def _reject(self, item: _QueueItem, error, slo: bool = False) -> None:
+        self.rejected.append(RejectedRequest(
+            request=item.request, arrival_s=item.arrival_s,
+            reason=str(error), error=error))
+        if self.metrics.enabled:
+            self.metrics.counter("scheduler.rejected").inc()
+            if slo:
+                self.metrics.counter("scheduler.slo_rejected").inc()
+
+    def _plan_preemption(self, priority: int, peak: int
+                         ) -> Tuple[Optional[_Device], List[_Running]]:
+        """Cheapest strictly-lower-priority eviction set fitting ``peak``.
+
+        Per device, victims are taken lowest-priority-first, then
+        most-recently-admitted (LIFO preserves the oldest work), then
+        latest batch position, until the device has both KV room and a
+        batch slot.  Among viable devices the plan with the fewest
+        victims wins, then the least KV freed (least over-eviction),
+        then the lowest device index.
+        """
+        max_batch = self.sched.max_batch
+        best_key: Optional[Tuple[int, int, int]] = None
+        best: Tuple[Optional[_Device], List[_Running]] = (None, [])
+        for dev in self.devs:
+            if not dev.alive:
+                continue
+            order = sorted(
+                ((e.prio, -e.admitted_s, -i, e)
+                 for i, e in enumerate(dev.batch) if e.prio < priority),
+                key=lambda t: t[:3])
+            victims: List[_Running] = []
+            freed = 0
+            for _p, _a, _i, e in order:
+                kv_ok = dev.kv_reserved - freed + peak <= self.kv_budget
+                slot_ok = max_batch is None \
+                    or len(dev.batch) - len(victims) < max_batch
+                if kv_ok and slot_ok:
+                    break
+                victims.append(e)
+                freed += e.kv_reserved
+            kv_ok = dev.kv_reserved - freed + peak <= self.kv_budget
+            slot_ok = max_batch is None \
+                or len(dev.batch) - len(victims) < max_batch
+            if not victims or not kv_ok or not slot_ok:
+                continue
+            key = (len(victims), freed, dev.index)
+            if best_key is None or key < best_key:
+                best_key, best = key, (dev, victims)
+        return best
+
+    def _preempt(self, dev: _Device, victims: List[_Running],
+                 now: float) -> None:
+        """Evict ``victims`` from ``dev`` back to their class fronts.
+
+        Victims lose their KV reservation and batch slot and restart
+        from prefill at re-admission — the same restart semantics as
+        failover requeue, but attributed to ``preemptions`` and kept
+        out of the failover-latency distribution.  A victim inside the
+        device's in-flight unit keeps its already-planned step work
+        (charged as occupancy) but its stale running state is simply
+        abandoned; decode macro-steps are truncated at the next
+        boundary so the freed capacity is usable immediately after.
+        """
+        if dev.busy:
+            self._truncate_unit(dev, now)
+        items: List[_QueueItem] = []
+        for v in victims:
+            dev.batch.remove(v)  # identity comparison (eq=False)
+            dev.kv_reserved -= v.kv_reserved
+            heapq.heappush(self.free_slots, v.slot)
+            self.in_flight -= 1
+            self.queue.refund(v.cls_name, v.request.total_tokens)
+            self.preempted += 1
+            items.append(_QueueItem(
+                request=v.request, arrival_s=v.arrival_s, seq=v.seq,
+                failovers=v.failovers, preemptions=v.preempted + 1))
+        self.queue.push_front(items)
+        if self.metrics.enabled:
+            self.metrics.counter("scheduler.preempted").inc(len(victims))
+        if self.tracer.enabled:
+            self.tracer.sim_span(
+                "preempt", start_s=now, dur_s=0.0,
+                track="scheduler.preempt", category="scheduler",
+                args={"device": dev.index, "victims": len(victims)})
+
+    def _projected_ttft(self, item: _QueueItem, dev: _Device,
+                        victims: List[_Running], now: float) -> float:
+        """Projected TTFT if admitted to ``dev`` now (victims evicted).
+
+        The prefill starts at the later of now, the stall horizon, and
+        the device's next step boundary (a decode macro-step truncates
+        there; a prefill-bearing unit is atomic), behind the prefills
+        of already-admitted requests that have not run yet.
+        """
+        if dev.busy and dev.unit_kind == "decode" \
+                and dev.unit_ends is not None:
+            ends = dev.unit_ends
+            j = int(np.searchsorted(ends, now, side="left"))
+            busy_until = float(ends[min(j, len(ends) - 1)])
+        elif dev.busy:
+            busy_until = dev.unit_end
+        else:
+            busy_until = now
+        start = max(now, dev.stall_until, busy_until)
+        queued = sum(
+            self.step.prefill_s(e.request.input_len)
+            for e in dev.batch
+            if e.generated == 0
+            and not any(e is p for p in dev.unit_prefills)
+            and not any(e is v for v in victims))
+        own = self.step.prefill_s(item.request.input_len)
+        return start + queued + own - item.arrival_s
+
+    def _projected_tbt(self, item: _QueueItem, dev: _Device,
+                       victims: List[_Running]) -> float:
+        """Projected decode step time at the post-admission occupancy."""
+        survivors = [e for e in dev.batch
+                     if not any(e is v for v in victims)]
+        batch = len(survivors) + 1
+        ctx = int(math.ceil(
+            (sum(e.context_len for e in survivors)
+             + item.request.input_len + 1) / batch))
+        return self.step.decode_step_s(batch, ctx)
+
+    def _slo_error(self, tc: TenantClass, item: _QueueItem,
+                   dev: _Device, victims: List[_Running],
+                   now: float) -> Optional[AdmissionError]:
+        """Typed rejection when the projected service level misses SLO."""
+        if tc.ttft_target_s is not None:
+            ttft = self._projected_ttft(item, dev, victims, now)
+            if ttft > tc.ttft_target_s:
+                return AdmissionError(
+                    f"class {tc.name}: projected TTFT {ttft:.3f}s "
+                    f"exceeds target {tc.ttft_target_s:.3f}s")
+        if tc.tbt_target_s is not None:
+            tbt = self._projected_tbt(item, dev, victims)
+            if tbt > tc.tbt_target_s:
+                return AdmissionError(
+                    f"class {tc.name}: projected TBT {tbt:.4f}s "
+                    f"exceeds target {tc.tbt_target_s:.4f}s")
+        return None
+
     def _admit_and_start(self, now: float) -> None:
-        """Admit from the queue head, then kick every idle device.
+        """Admit from the class heads, then kick every idle device.
+
+        Each pass selects the eligible class by strict priority then
+        weighted fair share (see :meth:`_WaitQueue.select`) and tries
+        its head.  A head that cannot fit blocks its class and every
+        strictly lower tier for the rest of the pass — unless evicting
+        strictly lower-priority work makes room (preemption).  With a
+        single class this is exactly FCFS head-of-line admission.
 
         Admission happens at the event's true time: the KV reservation
         is taken immediately, and if the target device is mid
@@ -796,40 +1273,64 @@ class _EventKernel:
         next decode boundary.
         """
         sched = self.sched
-        waiting = self.waiting
         metrics = self.metrics
-        while self.head < len(waiting):
-            request, arrival, fo, rq = waiting[self.head]
-            if arrival > now:
+        queue = self.queue
+        blocked: set = set()
+        prio_floor: Optional[int] = None
+        while True:
+            name = queue.select(now, blocked, prio_floor)
+            if name is None:
                 break
+            tc = queue.cls(name)
+            item = queue.peek(name)
+            request = item.request
             error = infeasible_error(sched.config, sched.memory_bytes,
                                      request)
             if error is not None:
-                self.rejected.append(RejectedRequest(
-                    request=request, arrival_s=arrival,
-                    reason=str(error), error=error))
-                self.head += 1
-                if metrics.enabled:
-                    metrics.counter("scheduler.rejected").inc()
+                queue.pop(name)
+                self._reject(item, error)
                 continue
             peak = peak_kv_bytes(sched.config, request.input_len,
                                  request.output_len)
             dev = self._pick_device()
+            if dev is not None \
+                    and dev.kv_reserved + peak > self.kv_budget:
+                dev = None  # no KV room on the least-reserved device
+            victims: List[_Running] = []
             if dev is None:
-                break  # every surviving device at max_batch
-            if dev.kv_reserved + peak > self.kv_budget:
-                break  # no KV room: head-of-line waits
+                dev, victims = self._plan_preemption(tc.priority, peak)
+            if dev is None:
+                # Head-of-line blocking: this class waits, and so does
+                # every strictly lower tier.
+                blocked.add(name)
+                prio_floor = tc.priority if prio_floor is None \
+                    else max(prio_floor, tc.priority)
+                continue
+            if sched.slo_admission and not item.failovers \
+                    and not item.preemptions:
+                error = self._slo_error(tc, item, dev, victims, now)
+                if error is not None:
+                    queue.pop(name)
+                    self._reject(item, error, slo=True)
+                    continue
+            if victims:
+                self._preempt(dev, victims, now)
+            queue.pop(name)
+            queue.charge(name, request.total_tokens)
             if self.free_slots:
                 slot = heapq.heappop(self.free_slots)
             else:
                 slot = self.next_slot
                 self.next_slot += 1
-            entry = _Running(request=request, arrival_s=arrival,
+            entry = _Running(request=request, arrival_s=item.arrival_s,
                              admitted_s=now, kv_reserved=peak,
                              slot=slot, device=dev.index,
-                             failovers=fo, requeued_at=rq)
-            if rq is not None:
-                latency = now - rq
+                             failovers=item.failovers,
+                             requeued_at=item.requeued_at,
+                             seq=item.seq, preempted=item.preemptions,
+                             cls_name=name, prio=tc.priority)
+            if item.requeued_at is not None:
+                latency = now - item.requeued_at
                 self.failover_latencies.append(latency)
                 if self.faults is not None:
                     self.faults.note_failover_latency(latency)
@@ -837,7 +1338,6 @@ class _EventKernel:
                     metrics.counter("scheduler.failover_readmits").inc()
             dev.kv_reserved += peak
             dev.batch.append(entry)
-            self.head += 1
             self.in_flight += 1
             if self.max_occupancy < self.in_flight:
                 self.max_occupancy = self.in_flight
@@ -848,10 +1348,12 @@ class _EventKernel:
         for dev in self.devs:
             if dev.alive and not dev.busy and dev.batch:
                 self._start_unit(dev, now)
-        # Wake up when the (future) queue head arrives, if any.
-        if self.head < len(waiting) and waiting[self.head][1] > now:
-            key = (self.head, waiting[self.head][1])
+        # Wake up when the earliest future class head arrives, if any.
+        nxt = queue.next_wakeup(now)
+        if nxt is not None:
+            arrival, item_seq = nxt
+            key = (item_seq, arrival)
             if key != self._arrival_key:
                 self._arrival_key = key
-                heapq.heappush(self.heap, (key[1], _PRIO_ARRIVAL,
+                heapq.heappush(self.heap, (arrival, _PRIO_ARRIVAL,
                                            next(self.seq), -1, 0))

@@ -47,7 +47,9 @@ class CompletedRequest:
     request-exclusive FCFS path leaves it ``None``.  ``failovers``
     counts how many times the request was requeued because its device
     failed mid-flight (continuous engine under a fault plan; always 0
-    otherwise).
+    otherwise).  ``preemptions`` counts evictions by a higher-priority
+    tenant class under KV pressure (continuous engine with tenant
+    classes; always 0 otherwise).
     """
 
     request: InferenceRequest
@@ -56,6 +58,7 @@ class CompletedRequest:
     finish_s: float
     first_token_s: Optional[float] = None
     failovers: int = 0
+    preemptions: int = 0
 
     @property
     def queue_wait_s(self) -> float:

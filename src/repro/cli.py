@@ -9,13 +9,21 @@ Commands:
 * ``platform`` — the CXL-PNM platform summary (Tables I/II headline).
 * ``estimate <model> [--in N] [--out N] [--dtype fp32|int8]`` —
   single-device latency/energy for a zoo model on CXL-PNM and an A100.
-* ``serve <model> [--device pnm|gpu] [--engine both|fcfs|continuous]
-  [--devices N] [--dtype fp32|int8]`` — open-loop Poisson serving
-  simulation comparing FCFS-exclusive dispatch with the event-driven
-  continuous-batching engine (KV admission control, TTFT/TBT
-  percentiles); ``--devices`` replicates the model for appliance DP and
-  ``--dtype int8`` prices decode steps on the quantized weight path
-  (halved weight-stream bytes).
+* ``serve <model> [--device pnm|gpu] [--devices N] [--dtype fp32|int8]
+  [--arrival steady|diurnal|flash-crowd] [--trace-file F]
+  [--save-trace F] [--tenants N] [--class NAME:W[:PRIO[:TTFT[:TBT]]]]
+  [--slo] [--compare-fcfs]`` — open-loop serving simulation on the
+  event-driven continuous-batching engine (KV admission control,
+  TTFT/TBT percentiles).  ``--arrival`` picks the traffic shape,
+  ``--trace-file`` replays a JSONL trace instead of generating one,
+  ``--save-trace`` records the generated workload for bit-identical
+  replay, ``--tenants``/``--class`` configure Zipf-skewed tenants and
+  priority classes (weighted fair share + preemption), ``--slo`` turns
+  on SLO-aware admission so the per-class goodput report reflects shed
+  load, and ``--compare-fcfs`` adds the FCFS-exclusive baseline.
+  ``--devices`` replicates the model for appliance DP and ``--dtype
+  int8`` prices decode steps on the quantized weight path (halved
+  weight-stream bytes).  See docs/SERVING.md for the operator's guide.
 * ``chaos [--crc-rate R] [--fail AT:DEV] ...`` — fault-injection run
   (``repro.faults``): generation, CXL readback, and multi-device
   serving under a seeded fault schedule, reporting corrected /
@@ -161,15 +169,45 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _parse_tenant_class(spec: str):
+    """``NAME:WEIGHT[:PRIORITY[:TTFT[:TBT]]]`` -> TenantClass.
+
+    Empty trailing fields mean "unset" (e.g. ``premium:4:1::0.05``
+    sets a TBT target but no TTFT target).
+    """
+    from repro.appliance import TenantClass
+    parts = spec.split(":")
+    if not parts[0] or len(parts) > 5:
+        raise ConfigurationError(
+            f"--class wants NAME:WEIGHT[:PRIORITY[:TTFT[:TBT]]], "
+            f"got {spec!r}")
+    def _opt(i, cast):
+        return cast(parts[i]) if len(parts) > i and parts[i] else None
+    weight = _opt(1, float)
+    priority = _opt(2, int)
+    return TenantClass(
+        name=parts[0],
+        weight=1.0 if weight is None else weight,
+        priority=0 if priority is None else priority,
+        ttft_target_s=_opt(3, float),
+        tbt_target_s=_opt(4, float))
+
+
 def _cmd_serve(args) -> int:
     from repro.accelerator import CXLPNMDevice
     from repro.appliance import (
         ContinuousBatchScheduler,
         RequestScheduler,
-        poisson_arrivals,
         timer_service,
     )
-    from repro.llm import InferenceRequest
+    from repro.llm import (
+        DEFAULT_TENANT_CLASS,
+        InferenceRequest,
+        arrivals_for_shape,
+        read_trace,
+        write_trace,
+        zipf_tenants,
+    )
     from repro.perf.analytical import BatchStepTimer, PnmPerfModel
     config = get_model(args.model)
     if args.device == "pnm":
@@ -181,49 +219,72 @@ def _cmd_serve(args) -> int:
         memory = A100_40G.memory_bytes
     if args.memory_gb is not None:
         memory = int(args.memory_gb * 1e9)
-    requests = [InferenceRequest(args.input_tokens, args.output_tokens,
-                                 request_id=i)
-                for i in range(args.requests)]
+    classes = [_parse_tenant_class(spec) for spec in args.tenant_classes]
+    class_names = [tc.name for tc in classes] or [DEFAULT_TENANT_CLASS]
     service = timer_service(config, perf)
-    rate = args.rate
-    if rate is None:
-        # Default: overload one exclusive instance 4x, the regime where
-        # continuous batching pays off.
-        rate = 4.0 / service(requests[0])
-    arrivals = poisson_arrivals(len(requests), rate, seed=args.seed)
+    if args.trace_file:
+        requests, arrivals = read_trace(args.trace_file)
+        source = f"trace {args.trace_file}"
+        rate = len(requests) / arrivals[-1] if arrivals and arrivals[-1] \
+            else 0.0
+    else:
+        tenants = zipf_tenants(args.requests, max(1, args.tenants),
+                               skew=args.zipf, seed=args.seed) \
+            if args.tenants > 1 else [0] * args.requests
+        requests = [InferenceRequest(
+            args.input_tokens, args.output_tokens, request_id=i,
+            tenant=t, tenant_class=class_names[t % len(class_names)])
+            for i, t in enumerate(tenants)]
+        rate = args.rate
+        if rate is None:
+            # Default: overload one exclusive instance 4x, the regime
+            # where continuous batching pays off.
+            rate = 4.0 / service(requests[0])
+        arrivals = arrivals_for_shape(args.arrival, len(requests), rate,
+                                      seed=args.seed)
+        source = f"{args.arrival} {rate:.3f} req/s"
+    if args.save_trace:
+        write_trace(args.save_trace, requests, arrivals)
+        print(f"trace saved: {args.save_trace} ({len(requests)} records)")
     runs = []
-    if args.engine in ("fcfs", "both"):
+    if args.compare_fcfs:
         fcfs = RequestScheduler(service, num_instances=1, config=config,
                                 memory_bytes=memory)
         runs.append(("fcfs-exclusive", fcfs.run(requests, arrivals)))
-    if args.engine in ("continuous", "both"):
-        quantize = "int8" if args.dtype == "int8" else None
-        if args.step_model == "sim":
-            if args.device != "pnm":
-                print("error: --step-model sim requires --device pnm")
-                return 2
-            from repro.appliance import simulated_step_model
-            step = simulated_step_model(config, device=device,
-                                        quantize=quantize)
-        else:
-            # Analytical models take the halved weight stream through a
-            # quantized config copy; admission budgets stay on `config`
-            # (KV caches keep their full width).
-            step_config = config.with_dtype(1) if quantize else config
-            step = BatchStepTimer(step_config, perf)
-        engine = ContinuousBatchScheduler(
-            step, config, memory, max_batch=args.max_batch,
-            num_devices=args.devices)
-        name = "continuous" if args.devices == 1 \
-            else f"continuous x{args.devices}"
-        runs.append((name, engine.run(requests, arrivals)))
-    print(f"{config.name} on {perf.name}: {len(requests)} requests "
-          f"({args.input_tokens} in / {args.output_tokens} out), "
-          f"Poisson {rate:.3f} req/s, memory {memory / 1e9:.0f} GB")
-    for name, stats in runs:
+    quantize = "int8" if args.dtype == "int8" else None
+    if args.step_model == "sim":
+        if args.device != "pnm":
+            print("error: --step-model sim requires --device pnm")
+            return 2
+        from repro.appliance import simulated_step_model
+        step = simulated_step_model(config, device=device,
+                                    quantize=quantize)
+    else:
+        # Analytical models take the halved weight stream through a
+        # quantized config copy; admission budgets stay on `config`
+        # (KV caches keep their full width).
+        step_config = config.with_dtype(1) if quantize else config
+        step = BatchStepTimer(step_config, perf)
+    engine = ContinuousBatchScheduler(
+        step, config, memory, max_batch=args.max_batch,
+        num_devices=args.devices, classes=classes or None,
+        slo_admission=args.slo)
+    name = "continuous" if args.devices == 1 \
+        else f"continuous x{args.devices}"
+    stats = engine.run(requests, arrivals)
+    runs.append((name, stats))
+    print(f"{config.name} on {perf.name}: {len(requests)} requests, "
+          f"{source}, memory {memory / 1e9:.0f} GB")
+    for name, run_stats in runs:
         print(f"  [{name}]")
-        for key, value in stats.as_dict().items():
+        for key, value in run_stats.as_dict().items():
             print(f"    {key:<24} {value:12.4f}")
+    breakdown = stats.class_breakdown()
+    if len(breakdown) > 1 or classes:
+        for cls_name, row in breakdown.items():
+            print(f"  [class {cls_name}]")
+            for key, value in row.items():
+                print(f"    {key:<24} {value:12.4f}")
     return 0
 
 
@@ -414,16 +475,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="simulate serving a zoo model: FCFS vs continuous batching")
+        help="simulate serving a zoo model on the continuous-batching "
+             "engine (multi-tenant traffic, SLO goodput)")
     serve.add_argument("model")
     serve.add_argument("--device", choices=["pnm", "gpu"], default="pnm")
-    serve.add_argument("--engine",
-                       choices=["fcfs", "continuous", "both"],
-                       default="both")
     serve.add_argument("--requests", type=int, default=32)
     serve.add_argument("--rate", type=float, default=None,
-                       help="Poisson arrival rate in req/s "
+                       help="mean arrival rate in req/s "
                             "(default: 4x one instance's capacity)")
+    serve.add_argument("--arrival", choices=["steady", "diurnal",
+                                             "flash-crowd"],
+                       default="steady",
+                       help="arrival-process shape (docs/SERVING.md)")
+    serve.add_argument("--trace-file", default=None,
+                       help="replay a JSONL trace instead of generating "
+                            "a workload (ignores --requests/--rate/"
+                            "--arrival/--tenants)")
+    serve.add_argument("--save-trace", default=None,
+                       help="record the generated workload as a JSONL "
+                            "trace for bit-identical replay")
+    serve.add_argument("--tenants", type=int, default=1,
+                       help="number of tenants (Zipf-skewed traffic "
+                            "shares when > 1)")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf skew of tenant traffic shares")
+    serve.add_argument("--class", dest="tenant_classes", action="append",
+                       default=[], metavar="SPEC",
+                       help="tenant class NAME:WEIGHT[:PRIORITY[:TTFT"
+                            "[:TBT]]] (repeatable); tenants map to "
+                            "classes round-robin")
+    serve.add_argument("--slo", action="store_true",
+                       help="SLO-aware admission: shed requests whose "
+                            "projected TTFT/TBT miss their class targets")
+    serve.add_argument("--compare-fcfs", action="store_true",
+                       help="also run the FCFS-exclusive baseline")
     serve.add_argument("--in", dest="input_tokens", type=int, default=64)
     serve.add_argument("--out", dest="output_tokens", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=None)

@@ -15,27 +15,58 @@ stitches those three layers together:
 * **accelerator** — the list scheduler run over a compiled OPT-13B gen
   stage, cross-checked against the analytical stage time.
 
+On top of those, the **SLO sweep** drives the continuous-batching
+engine's multi-tenant front end (see ``docs/SERVING.md``): Zipf-skewed
+tenants split across an ``interactive`` class (higher priority and
+weight, TTFT/TBT targets, SLO admission shedding) and a best-effort
+``batch`` class, offered under each arrival shape in
+:data:`~repro.llm.workload.ARRIVAL_SHAPES` at two device counts plus a
+batch-heavy tenant mix.  Each cell reports goodput under SLO —
+throughput counting only requests whose class targets were met — per
+tenant class.  A final row replays the flash-crowd cell from a JSONL
+trace file and checks the stats reproduce bit-identically.
+
 Run with ``repro run service --trace-out trace.json`` to get all three
 layers' spans on one simulated timeline.
 """
 
 from __future__ import annotations
 
-from typing import List
+import os
+import tempfile
+from typing import List, Sequence, Tuple
 
 from repro.accelerator.compiler import timing_program
 from repro.accelerator.device import CXLPNMDevice
+from repro.appliance.continuous import (
+    ContinuousBatchScheduler,
+    ContinuousBatchStats,
+    TenantClass,
+)
 from repro.cxl.arbiter import ArbitrationPolicy, compare_policies
 from repro.cxl.protocol import CACHELINE_BYTES, Source
 from repro.experiments.report import ExperimentResult
 from repro.llm.config import OPT_13B
-from repro.llm.workload import PAPER_INPUT_TOKENS, InferenceRequest
+from repro.llm.workload import (
+    ARRIVAL_SHAPES,
+    PAPER_INPUT_TOKENS,
+    InferenceRequest,
+    arrivals_for_shape,
+    multi_tenant_workload,
+    read_trace,
+    write_trace,
+)
+from repro.obs.metrics import NULL_REGISTRY
 from repro.appliance.scheduler import (
     RequestScheduler,
     poisson_arrivals,
     timer_service,
 )
-from repro.perf.analytical import InferenceTimer, PnmPerfModel
+from repro.perf.analytical import (
+    BatchStepTimer,
+    InferenceTimer,
+    PnmPerfModel,
+)
 from repro.perf.simulator import AcceleratorSimulator
 from repro.units import GB
 
@@ -48,6 +79,112 @@ OFFERED_UTILIZATION = 0.7
 CONTEXT_FOR_GEN = 576
 #: Concurrent host CXL.mem demand while the appliance serves (bytes/s).
 HOST_DEMAND_BYTES_S = 100e9
+
+# -- SLO sweep configuration ----------------------------------------------
+SLO_NUM_REQUESTS = 32
+SLO_OUTPUT_TOKENS = 64
+SLO_NUM_TENANTS = 6
+SLO_ZIPF_SKEW = 1.1
+SLO_SEED = 11
+#: Offered rate relative to one exclusive instance's capacity per device;
+#: past 1.0 so that fair-share, preemption, and SLO shedding all engage.
+SLO_OVERLOAD = 3.0
+SLO_DEVICE_COUNTS = (2, 4)
+#: Tenant mixes: round-robin class assignment over ``tenant % len(mix)``.
+SLO_MIXES = {
+    "even": ("interactive", "batch"),
+    "batch-heavy": ("interactive", "batch", "batch", "batch"),
+}
+
+
+def slo_classes(step: BatchStepTimer) -> Tuple[TenantClass, ...]:
+    """Tenant classes with targets derived from the device's step costs.
+
+    ``interactive`` outranks ``batch`` (strict priority tier) and gets
+    3x its fair-share weight, a TTFT target of a few queued prefills,
+    and a TBT target of several single-row decode steps; ``batch`` is
+    best-effort with no targets, so its attainment is trivially 1.0.
+    """
+    prefill = step.prefill_s(PAPER_INPUT_TOKENS)
+    decode = step.decode_step_s(1, PAPER_INPUT_TOKENS + 1)
+    return (
+        TenantClass("interactive", weight=3.0, priority=1,
+                    ttft_target_s=4.0 * prefill,
+                    tbt_target_s=8.0 * decode),
+        TenantClass("batch", weight=1.0),
+    )
+
+
+def _slo_cell(step: BatchStepTimer, memory_bytes: int, mix: Sequence[str],
+              shape: str, num_devices: int, rate: float
+              ) -> "Tuple[ContinuousBatchStats, list, list]":
+    """One sweep cell; returns (stats, requests, arrivals) for replay."""
+    requests = multi_tenant_workload(
+        SLO_NUM_REQUESTS, num_tenants=SLO_NUM_TENANTS, skew=SLO_ZIPF_SKEW,
+        class_names=mix, seed=SLO_SEED,
+        mean_input=PAPER_INPUT_TOKENS, mean_output=SLO_OUTPUT_TOKENS)
+    arrivals = arrivals_for_shape(shape, SLO_NUM_REQUESTS,
+                                  rate * num_devices, seed=SLO_SEED)
+    # The FCFS layer owns the ambient scheduler.* metrics contract
+    # (exactly NUM_REQUESTS requests); the sweep keeps its counters out
+    # of that registry but still traces spans onto the shared timeline.
+    scheduler = ContinuousBatchScheduler(
+        step, OPT_13B, memory_bytes, num_devices=num_devices,
+        classes=slo_classes(step), slo_admission=True,
+        metrics=NULL_REGISTRY)
+    return scheduler.run(requests, arrivals), requests, arrivals
+
+
+def _slo_rows(step: BatchStepTimer, memory_bytes: int,
+              rows: List[dict]) -> None:
+    """Append the SLO sweep and the trace-replay check to ``rows``."""
+    single = timer_service(OPT_13B, step.model)
+    probe = InferenceRequest(PAPER_INPUT_TOKENS, SLO_OUTPUT_TOKENS)
+    rate = SLO_OVERLOAD / single(probe)
+
+    cells = [("even", shape, devices)
+             for shape in ARRIVAL_SHAPES
+             for devices in SLO_DEVICE_COUNTS]
+    cells.append(("batch-heavy", "flash-crowd", max(SLO_DEVICE_COUNTS)))
+    replay_source = None
+    for mix_name, shape, devices in cells:
+        stats, requests, arrivals = _slo_cell(
+            step, memory_bytes, SLO_MIXES[mix_name], shape, devices, rate)
+        label = f"slo {shape}/{mix_name} DP={devices}"
+        rows.append({
+            "metric": f"{label}: goodput / throughput (tok/s)",
+            "value": stats.goodput_tokens_per_s,
+            "extra": stats.throughput_tokens_per_s,
+        })
+        for cls, cell in sorted(stats.class_breakdown().items()):
+            rows.append({
+                "metric": f"{label} [{cls}]: goodput (tok/s) / attainment",
+                "value": cell["goodput_tokens_per_s"],
+                "extra": cell["slo_attainment"],
+            })
+        if (mix_name, shape, devices) == \
+                ("even", "flash-crowd", max(SLO_DEVICE_COUNTS)):
+            replay_source = (stats, requests, arrivals, devices)
+
+    # Trace-replay check: round-trip the flash-crowd cell through a
+    # JSONL trace file and re-run; the stats must be bit-identical.
+    stats, requests, arrivals, devices = replay_source
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "slo_trace.jsonl")
+        write_trace(path, requests, arrivals)
+        replayed_requests, replayed_arrivals = read_trace(path)
+    replayed = ContinuousBatchScheduler(
+        step, OPT_13B, memory_bytes, num_devices=devices,
+        classes=slo_classes(step), slo_admission=True,
+        metrics=NULL_REGISTRY,
+    ).run(replayed_requests, replayed_arrivals)
+    rows.append({
+        "metric": "slo trace replay bit-identical (1=yes) / requests",
+        "value": float(replayed.as_dict() == stats.as_dict()
+                       and replayed.class_breakdown()
+                       == stats.class_breakdown()),
+        "extra": float(len(replayed_requests)),
+    })
 
 
 def run(num_requests: int = NUM_REQUESTS,
@@ -108,6 +245,11 @@ def run(num_requests: int = NUM_REQUESTS,
         "value": sim.total_time_s * 1e3,
         "extra": gen_stage_s * 1e3,
     })
+
+    # SLO sweep: multi-tenant continuous batching under each arrival
+    # shape, with goodput-under-SLO per tenant class and a trace-replay
+    # bit-identity check.
+    _slo_rows(BatchStepTimer(OPT_13B, pnm), device.memory_capacity, rows)
     return ExperimentResult(
         experiment_id="service",
         title=f"OPT-13B service level: {num_requests} Poisson requests "
@@ -121,5 +263,12 @@ def run(num_requests: int = NUM_REQUESTS,
             "host traffic stalls for every PNM task.",
             "Run with --trace-out to see all three layers (scheduler, "
             "cxl, accelerator) on one simulated timeline.",
+            "SLO rows: Zipf-skewed tenants split into 'interactive' "
+            "(priority tier 1, weight 3, TTFT/TBT targets, admission "
+            "shedding) and best-effort 'batch'; goodput counts only "
+            "output tokens of requests that met their class targets.",
+            "The trace-replay row re-runs the flash-crowd cell from a "
+            "JSONL trace round-trip; 1.0 means the stats (including "
+            "the per-class breakdown) reproduced bit-identically.",
         ],
     )

@@ -86,3 +86,41 @@ class TestFailureModes:
             "__init__.py": '"""Root."""\n',
             "good.py": '"""Fine."""\n'})
         assert check_docs.run_checks(root) == []
+
+
+class TestGuideRegistry:
+    """Invariant 3: operator guides exist and are linked from the entry
+    docs.  The check is gated on README.md, so the miniature repos above
+    (which have none) never trip it."""
+
+    MODULES = {"__init__.py": '"""Root."""\n'}
+
+    def test_real_tree_has_all_guides_linked(self):
+        assert check_docs.guide_problems(REPO_ROOT) == []
+
+    def test_skipped_without_readme(self, tmp_path):
+        root = _mini_repo(tmp_path, "`repro`\n", self.MODULES)
+        assert check_docs.guide_problems(root) == []
+
+    def test_missing_guide_reported(self, tmp_path):
+        root = _mini_repo(tmp_path, "`repro`\n", self.MODULES)
+        (root / "README.md").write_text("see docs/SERVING.md\n")
+        problems = check_docs.guide_problems(root)
+        assert any("missing operator guide" in p and "SERVING.md" in p
+                   for p in problems)
+
+    def test_unlinked_guide_reported(self, tmp_path):
+        root = _mini_repo(tmp_path, "`repro`\n", self.MODULES)
+        (root / "README.md").write_text("no guide links here\n")
+        (root / "docs" / "SERVING.md").write_text("# Serving\n")
+        problems = check_docs.guide_problems(root)
+        assert any("not linked from README.md" in p for p in problems)
+        assert any("not linked from" in p and "API.md" in p
+                   for p in problems)
+
+    def test_linked_guide_passes(self, tmp_path):
+        api = "`repro`\nOperators: see [the serving guide](SERVING.md).\n"
+        root = _mini_repo(tmp_path, api, self.MODULES)
+        (root / "README.md").write_text("see docs/SERVING.md\n")
+        (root / "docs" / "SERVING.md").write_text("# Serving\n")
+        assert check_docs.guide_problems(root) == []

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checker (run by the CI ``docs`` job).
 
-Two invariants, both cheap and both load-bearing:
+Three invariants, all cheap and all load-bearing:
 
 1. **Every module has a docstring.**  Each ``*.py`` file under
    ``src/repro/`` must open with a non-empty module docstring — the
@@ -11,6 +11,12 @@ Two invariants, both cheap and both load-bearing:
    ``repro.memory.ecc``) must equal the set of modules that actually
    exist.  A module missing from the doc is *undocumented*; a doc name
    with no module behind it is *stale*.
+3. **Operator guides are registered and reachable.**  Every guide in
+   :data:`GUIDES` must exist and be linked by filename from both
+   ``README.md`` and ``docs/API.md``, so no guide can silently fall
+   out of the entry points readers actually start from.  (Checked only
+   when the root has a ``README.md`` — miniature fixture repos in the
+   test suite do not.)
 
 The doc-side convention that makes the bijection checkable: module
 names appear in API.md as whole backticked lowercase dotted paths
@@ -42,6 +48,12 @@ _MODULE_TOKEN = re.compile(r"`(repro(?:\.[a-z_][a-z0-9_]*)*)`")
 
 API_DOC = Path("docs") / "API.md"
 SRC_ROOT = Path("src") / "repro"
+README = Path("README.md")
+
+#: Operator guides that must exist and be linked from the entry docs.
+GUIDES = (Path("docs") / "SERVING.md",)
+#: Entry-point docs that must mention each guide by filename.
+GUIDE_INDEXES = (README, API_DOC)
 
 
 def source_modules(root: Path) -> Dict[str, Path]:
@@ -78,6 +90,29 @@ def documented_modules(root: Path) -> Set[str]:
     return set(_MODULE_TOKEN.findall(text))
 
 
+def guide_problems(root: Path) -> List[str]:
+    """Missing or unlinked operator guides (empty = all registered).
+
+    Skipped entirely when the root has no ``README.md``: the miniature
+    repos the test suite lays out only model the API.md bijection.
+    """
+    if not (root / README).exists():
+        return []
+    problems: List[str] = []
+    for guide in GUIDES:
+        if not (root / guide).exists():
+            problems.append(f"missing operator guide: {guide}")
+            continue
+        for index in GUIDE_INDEXES:
+            index_path = root / index
+            if not index_path.exists():
+                continue  # its absence is reported elsewhere
+            if guide.name not in index_path.read_text(encoding="utf-8"):
+                problems.append(
+                    f"guide {guide} not linked from {index}")
+    return problems
+
+
 def run_checks(root: Path) -> List[str]:
     """Return a list of human-readable problems (empty = all good)."""
     problems: List[str] = []
@@ -88,6 +123,7 @@ def run_checks(root: Path) -> List[str]:
     for dotted in missing_docstrings(modules):
         problems.append(f"missing module docstring: {dotted} "
                         f"({modules[dotted].relative_to(root)})")
+    problems.extend(guide_problems(root))
 
     if not (root / API_DOC).exists():
         problems.append(f"missing {API_DOC}")
@@ -116,7 +152,7 @@ def main(argv: List[str] | None = None) -> int:
         return 1
     count = len(source_modules(args.root))
     print(f"docs check OK: {count} modules, all with docstrings, "
-          f"API.md in sync")
+          f"API.md in sync, {len(GUIDES)} guides registered")
     return 0
 
 
