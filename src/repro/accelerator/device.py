@@ -18,7 +18,7 @@ from repro.cxl.link import CXLLink, GEN5_X16
 from repro.errors import ConfigurationError
 from repro.memory.module import MemoryModule, lpddr5x_module
 from repro.memory.timing import ChannelTimingModel, SEQUENTIAL_STREAM
-from repro.units import GHZ, MiB
+from repro.units import GB, GHZ, MiB, TB, TERA
 
 
 @dataclass(frozen=True)
@@ -137,10 +137,10 @@ class CXLPNMDevice:
         spec = self.spec
         return {
             "num_pes": spec.num_pes,
-            "peak_pe_tflops": spec.peak_gemm_flops / 1e12,
+            "peak_pe_tflops": spec.peak_gemm_flops / TERA,
             "adder_tree_multipliers": spec.adder_tree_multipliers,
             "adder_tree_adders": spec.adder_tree_adders,
-            "peak_tree_tflops": spec.peak_gemv_flops / 1e12,
+            "peak_tree_tflops": spec.peak_gemv_flops / TERA,
             "register_file_mb": spec.register_file_bytes / MiB,
             "dma_buffer_mb": spec.dma_buffer_bytes / MiB,
             "dram_io_width": spec.dram_io_width,
@@ -151,6 +151,6 @@ class CXLPNMDevice:
             "controller_max_watts": spec.controller_max_watts,
             "dram_max_watts": spec.dram_max_watts,
             "platform_max_watts": spec.platform_max_watts,
-            "memory_capacity_gb": self.memory_capacity / 1e9,
-            "peak_bandwidth_tb_s": self.peak_memory_bandwidth / 1e12,
+            "memory_capacity_gb": self.memory_capacity / GB,
+            "peak_bandwidth_tb_s": self.peak_memory_bandwidth / TB,
         }

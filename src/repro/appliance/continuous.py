@@ -98,6 +98,7 @@ from repro.llm.config import LLMConfig
 from repro.llm.kvcache import kv_spare_bytes, peak_kv_bytes
 from repro.llm.workload import DEFAULT_TENANT_CLASS, InferenceRequest
 from repro.obs.context import get_metrics, get_tracer
+from repro.units import GB
 
 #: Device-step sim-spans traced per run; long runs have tens of
 #: thousands of near-identical steps, so the trace keeps the first ones
@@ -673,7 +674,7 @@ class ContinuousBatchScheduler:
                        key=lambda p: p[1]))]
         with tracer.span("scheduler.continuous", category="scheduler",
                          requests=len(requests),
-                         memory_gb=self.memory_bytes / 1e9):
+                         memory_gb=self.memory_bytes / GB):
             stats = _EventKernel(self, waiting, tracer, metrics,
                                  faults, events).run()
         if metrics.enabled:
@@ -975,7 +976,7 @@ class _EventKernel:
                       "prefills": len(dev.unit_prefills),
                       "decodes": total_decodes,
                       "occupancy": occupancy,
-                      "kv_reserved_gb": dev.kv_reserved / 1e9})
+                      "kv_reserved_gb": dev.kv_reserved / GB})
         if self.metrics.enabled:
             self.metrics.gauge("scheduler.batch_occupancy").set(
                 occupancy)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import ParallelismError
 from repro.llm.config import LLMConfig
+from repro.units import GB
 
 
 @dataclass(frozen=True)
@@ -64,9 +65,9 @@ class ParallelismPlan:
         per_device = params_per_device(config, self.tensor_parallel)
         if per_device + kv_reserve_bytes > device_memory_bytes:
             raise ParallelismError(
-                f"{config.name} with {self.label}: {per_device / 1e9:.1f} GB"
-                f" + {kv_reserve_bytes / 1e9:.1f} GB reserve exceeds device "
-                f"memory {device_memory_bytes / 1e9:.1f} GB")
+                f"{config.name} with {self.label}: {per_device / GB:.1f} GB"
+                f" + {kv_reserve_bytes / GB:.1f} GB reserve exceeds device "
+                f"memory {device_memory_bytes / GB:.1f} GB")
 
 
 def params_per_device(config: LLMConfig, tensor_parallel: int) -> int:

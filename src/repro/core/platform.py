@@ -22,6 +22,7 @@ from repro.llm.reference import ModelWeights, random_weights
 from repro.perf.analytical import InferenceTimer, PnmPerfModel
 from repro.perf.metrics import ApplianceResult, InferenceResult
 from repro.runtime.session import InferenceSession
+from repro.units import GB, TB, TERA
 
 
 @dataclass(frozen=True)
@@ -55,12 +56,12 @@ class CxlPnmPlatform:
     def report(self) -> PlatformReport:
         spec = self.device.spec
         return PlatformReport(
-            memory_capacity_gb=self.device.memory_capacity / 1e9,
-            peak_bandwidth_tb_s=self.device.peak_memory_bandwidth / 1e12,
+            memory_capacity_gb=self.device.memory_capacity / GB,
+            peak_bandwidth_tb_s=self.device.peak_memory_bandwidth / TB,
             effective_bandwidth_tb_s=(
-                self.device.effective_memory_bandwidth / 1e12),
-            peak_gemm_tflops=spec.peak_gemm_flops / 1e12,
-            peak_gemv_tflops=spec.peak_gemv_flops / 1e12,
+                self.device.effective_memory_bandwidth / TB),
+            peak_gemm_tflops=spec.peak_gemm_flops / TERA,
+            peak_gemv_tflops=spec.peak_gemv_flops / TERA,
             platform_max_watts=spec.platform_max_watts,
         )
 
@@ -109,8 +110,8 @@ class CxlPnmPlatform:
         """Modelled single-device latency/energy on the ASIC target."""
         if not self.fits(config):
             raise CapacityError(
-                f"{config.name} ({config.param_bytes / 1e9:.0f} GB) exceeds "
-                f"the {self.device.memory_capacity / 1e9:.0f} GB module")
+                f"{config.name} ({config.param_bytes / GB:.0f} GB) exceeds "
+                f"the {self.device.memory_capacity / GB:.0f} GB module")
         timer = InferenceTimer(config=config,
                                model=PnmPerfModel(self.device))
         return timer.run(input_len, output_len)

@@ -23,6 +23,7 @@ from typing import Dict, List, Tuple
 from repro.cxl.protocol import CACHELINE_BYTES, Source
 from repro.errors import ConfigurationError
 from repro.obs.context import get_metrics, get_tracer
+from repro.units import bytes_to_gb, s_to_us
 
 #: Blocking-poll task windows traced per ``simulate`` call; long
 #: intervals contain thousands of identical windows, so the trace keeps
@@ -168,9 +169,9 @@ class Arbiter:
                     f"wrr.{source.name.lower()}", start_s=0.0,
                     dur_s=interval_s, track="cxl.arbiter",
                     category="cxl",
-                    args={"served_GB": nbytes / 1e9,
+                    args={"served_GB": bytes_to_gb(nbytes),
                           "mean_wait_us":
-                              stats.mean_wait_s[source] * 1e6})
+                              s_to_us(stats.mean_wait_s[source])})
             return
         cycle = pnm_task_s + self.poll_interval_s / 2.0
         full_tasks, tail_task_s, _pnm_time, _blocked = \

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional
 
 from repro.faults.context import chaos
 from repro.faults.plan import FaultPlan
+from repro.units import GB
 
 
 @dataclass(frozen=True)
@@ -177,7 +178,7 @@ def run_chaos(plan: FaultPlan,
             model = get_model(config.model)
             engine = ContinuousBatchScheduler(
                 BatchStepTimer(model, PnmPerfModel(CXLPNMDevice())),
-                model, int(config.memory_gb * 1e9),
+                model, int(config.memory_gb * GB),
                 num_devices=config.num_devices)
             requests = sampled_workload(config.num_requests,
                                         seed=plan.seed)

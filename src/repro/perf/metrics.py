@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.errors import ConfigurationError
+from repro.units import s_to_ms
 
 
 @dataclass(frozen=True)
@@ -70,7 +71,7 @@ class InferenceResult:
 
     @property
     def ms_per_token(self) -> float:
-        return 1e3 * self.latency_s / self.output_len
+        return s_to_ms(self.latency_s) / self.output_len
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ from repro.llm.config import LLMConfig
 from repro.llm.graph import gen_stage_ops, sum_stage_ops
 from repro.llm.ops import OpSpec
 from repro.perf.analytical import DevicePerfModel
+from repro.units import TERA
 
 
 @dataclass(frozen=True)
@@ -51,7 +52,7 @@ class Roofline:
     def curve(self, intensities: Sequence[float]) -> List[Dict[str, float]]:
         """Plot-ready (intensity, attainable) pairs."""
         return [{"intensity": float(i),
-                 "attainable_tflops": self.attainable_flops(i) / 1e12}
+                 "attainable_tflops": self.attainable_flops(i) / TERA}
                 for i in intensities]
 
 
@@ -71,7 +72,7 @@ def op_scatter(ops: Sequence[OpSpec], roofline: Roofline
             "op": op.name,
             "kind": op.kind.value,
             "intensity": intensity,
-            "attainable_tflops": roofline.attainable_flops(intensity) / 1e12,
+            "attainable_tflops": roofline.attainable_flops(intensity) / TERA,
             "bound": roofline.bound_of(intensity),
         })
     return rows
@@ -108,11 +109,11 @@ def roofline_report(config: LLMConfig, models: Sequence[DevicePerfModel],
             "gen_intensity": gen_i,
             "gen_bound": roof.bound_of(gen_i),
             "gen_attainable_tflops":
-                roof.attainable_flops(gen_i) / 1e12,
+                roof.attainable_flops(gen_i) / TERA,
             "sum_intensity": sum_i,
             "sum_bound": roof.bound_of(sum_i),
             "sum_attainable_tflops":
-                roof.attainable_flops(sum_i) / 1e12,
+                roof.attainable_flops(sum_i) / TERA,
         })
     return rows
 

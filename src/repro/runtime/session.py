@@ -28,7 +28,7 @@ from repro.memory.reliable import ReliableRegion
 from repro.obs.context import get_metrics, get_tracer
 from repro.perf.simulator import AcceleratorSimulator
 from repro.runtime.driver import CompletionMode, CxlPnmDriver
-from repro.units import MiB
+from repro.units import MiB, s_to_us
 
 
 @dataclass
@@ -171,7 +171,7 @@ class InferenceSession:
                         dur_s=stage_time, track="session",
                         category="runtime",
                         args={"instructions": len(code)})
-                    span.set(device_time_us=stage_time * 1e6)
+                    span.set(device_time_us=s_to_us(stage_time))
                 self._sim_clock_s += stage_time
                 self._trace_host_readback(tracer, metrics)
             token = int(self.memory.read_tensor(

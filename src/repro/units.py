@@ -11,6 +11,15 @@ times seconds, all energies joules, unless a name says otherwise.
 
 from __future__ import annotations
 
+# Dimensionless SI magnitude prefixes -- for scaled *readouts* of a
+# quantity that stays in base units (TFLOPS, billions of parameters).
+# When the number has a dimension, prefer the dimensioned constant
+# below (GB, GHZ, Gbps) so the name says what is being scaled.
+KILO = 10**3
+MEGA = 10**6
+GIGA = 10**9
+TERA = 10**12
+
 # Decimal (SI) byte units -- used for bandwidth and marketing capacities.
 KB = 10**3
 MB = 10**6
@@ -49,6 +58,45 @@ SECONDS_PER_DAY = 86_400.0
 def gbps_to_bytes_per_s(gbps: float) -> float:
     """Convert a per-pin data rate in Gbit/s to bytes/second."""
     return gbps * Gbps / 8.0
+
+
+def ns_to_s(time_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return time_ns * NANOSECOND
+
+
+def us_to_s(time_us: float) -> float:
+    """Convert microseconds to seconds."""
+    return time_us * MICROSECOND
+
+
+def ms_to_s(time_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return time_ms * MILLISECOND
+
+
+def s_to_ns(time_s: float) -> float:
+    """Express a time in nanoseconds (exact: multiplies by 10**9)."""
+    return time_s * GIGA
+
+
+def s_to_us(time_s: float) -> float:
+    """Express a time in microseconds (exact: multiplies by 10**6)."""
+    return time_s * MEGA
+
+
+def s_to_ms(time_s: float) -> float:
+    """Express a time in milliseconds (exact: multiplies by 10**3)."""
+    return time_s * KILO
+
+
+def tokens_per_s(tokens: float, elapsed_s: float) -> float:
+    """Normalize a token count over an elapsed simulated time.
+
+    Zero elapsed time reports zero rate (idle interval), matching the
+    library's stats conventions.
+    """
+    return tokens / elapsed_s if elapsed_s else 0.0
 
 
 def bytes_to_gib(num_bytes: float) -> float:
