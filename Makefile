@@ -12,9 +12,10 @@ all: lint test docs
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Static analysis: the custom simulation-purity lint (always), the ISA
-# program-verifier smoke over the service decode geometry (always), and
-# ruff's pyflakes-error rules (when installed).
+# Static analysis: the source-tree lint suite (purity + units +
+# determinism + contracts, honoring tools/static_analysis_baseline.json;
+# always), the ISA program-verifier smoke over the service decode
+# geometry (always), and ruff's pyflakes-error rules (when installed).
 lint:
 	$(PYTHON) tools/static_checks.py
 	$(PYTHON) -m repro lint-program OPT-13B --batch-tokens 1

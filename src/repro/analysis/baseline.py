@@ -1,0 +1,158 @@
+"""Checked-in suppression baseline for the static-analysis suite.
+
+A blocking CI job must land with zero noise, and a lint worth running
+occasionally flags code that is *deliberately* written the way it is
+(an identity-keyed memo whose values pin their keys alive; an f-string
+``as_dict`` key enumerating a fixed enum).  The baseline file records
+each such exception explicitly — code, file, the exact source line,
+and a human justification — so suppressions are reviewable diffs, not
+inline pragma litter.
+
+Matching is by ``(code, path, stripped line text)``, not line number:
+moving a line does not invalidate its entry, while *editing* it does —
+an edited line must re-earn its suppression.  Entries that no longer
+match anything are reported as **stale** and fail the run: a baseline
+only shrinks by deleting the entry alongside the fix.
+
+File format (JSON, checked in at ``tools/static_analysis_baseline.json``)::
+
+    {"version": 1,
+     "entries": [{"code": "DET501",
+                  "path": "accelerator/isa.py",
+                  "line": "_VALIDATED[id(program)] = program",
+                  "reason": "identity memo; values pin their keys"}]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+from .diagnostics import AnalysisReport, Diagnostic
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed, individually justified diagnostic."""
+
+    code: str
+    path: str
+    line: str
+    reason: str
+
+    def __post_init__(self) -> None:
+        if not self.reason.strip():
+            raise ConfigurationError(
+                f"baseline entry {self.code} at {self.path} has no "
+                f"justification; every suppression must say why")
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"code": self.code, "path": self.path,
+                "line": self.line, "reason": self.reason}
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to an analysis report."""
+
+    report: AnalysisReport
+    suppressed: Tuple[Diagnostic, ...] = ()
+    stale: Tuple[BaselineEntry, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Clean after suppression, and no stale entries."""
+        return self.report.clean and not self.stale
+
+    def as_dict(self) -> Dict[str, object]:
+        out = self.report.as_dict()
+        out["suppressed"] = [d.as_dict() for d in self.suppressed]
+        out["stale_baseline"] = [e.as_dict() for e in self.stale]
+        out["ok"] = self.report.ok and not self.stale
+        out["clean"] = self.ok
+        return out
+
+
+class Baseline:
+    """A loaded set of suppression entries, applied against a tree."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()):
+        self.entries = tuple(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load and validate a baseline file."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read baseline {path}: {exc}")
+        if not isinstance(data, dict) or data.get("version") != 1:
+            raise ConfigurationError(
+                f"baseline {path} must be a version-1 object")
+        entries = []
+        for raw in data.get("entries", ()):
+            missing = {"code", "path", "line", "reason"} - set(raw)
+            if missing:
+                raise ConfigurationError(
+                    f"baseline entry {raw!r} missing {sorted(missing)}")
+            entries.append(BaselineEntry(
+                code=raw["code"], path=raw["path"],
+                line=raw["line"], reason=raw["reason"]))
+        return cls(entries)
+
+    def apply(self, report: AnalysisReport, root: Path
+              ) -> BaselineResult:
+        """Partition a report into kept and suppressed diagnostics.
+
+        ``root`` is the linted tree root: diagnostic locations are
+        relative to it, and the matched source line is read from disk
+        so an edited line no longer matches its stale entry.
+        """
+        root = Path(root)
+        line_cache: Dict[str, List[str]] = {}
+
+        def source_line(relpath: str, lineno: int) -> Optional[str]:
+            lines = line_cache.get(relpath)
+            if lines is None:
+                try:
+                    lines = (root / relpath).read_text(
+                        encoding="utf-8").splitlines()
+                except OSError:
+                    lines = []
+                line_cache[relpath] = lines
+            if 1 <= lineno <= len(lines):
+                return lines[lineno - 1].strip()
+            return None
+
+        kept: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        used = [False] * len(self.entries)
+        for diag in report.diagnostics:
+            relpath, _, lineno_text = diag.location.rpartition(":")
+            try:
+                lineno = int(lineno_text)
+            except ValueError:
+                relpath, lineno = diag.location, 0
+            text = source_line(relpath, lineno)
+            match = None
+            for idx, entry in enumerate(self.entries):
+                if entry.code == diag.code and entry.path == relpath \
+                        and text is not None \
+                        and entry.line.strip() == text:
+                    match = idx
+                    break
+            if match is None:
+                kept.append(diag)
+            else:
+                used[match] = True
+                suppressed.append(diag)
+        stale = tuple(entry for idx, entry in enumerate(self.entries)
+                      if not used[idx])
+        return BaselineResult(
+            report=AnalysisReport.collect(kept, subject=report.subject),
+            suppressed=tuple(suppressed), stale=stale)

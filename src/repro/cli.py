@@ -30,6 +30,14 @@ Commands:
   uncorrected / retried / failed-over counts.  With no fault flags it
   runs the default §IX schedule.
 * ``isa`` — the accelerator's generated ISA reference.
+* ``lint [--root DIR] [--select purity,units,det,con] [--baseline F |
+  --no-baseline] [--json] [--errors-only]`` — run the source-tree
+  static-analysis suite (:mod:`repro.analysis.suite`): simulation
+  purity (PUR3xx), unit discipline (UNIT4xx), determinism (DET5xx),
+  and the cross-model contract checker (CON6xx), honoring the
+  checked-in suppression baseline.  Exit codes match
+  ``lint-program``: 0 clean, 2 diagnostics (or stale baseline
+  entries), 1 tool failure.
 * ``lint-program <model>|tiny [--batch-tokens N] [--ctx-prev N]
   [--batched B] [--json]`` — compile a timing program for the given
   geometry and run the :mod:`repro.analysis` static verifier over it.
@@ -63,7 +71,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.gpu import A100_40G
 from repro.llm import MODEL_ZOO, get_model, random_weights, tiny_config
 from repro.perf.analytical import GpuPerfModel, InferenceTimer
-from repro.units import GiB, TB
+from repro.units import GB, GiB, GIGA, TB, s_to_us
 
 
 @contextlib.contextmanager
@@ -132,7 +140,7 @@ def _cmd_models(_args) -> int:
             required_bandwidth,
         )
         ctx = min(2048, config.max_seq_len)
-        print(f"{name:<22} {config.num_params / 1e9:8.1f}B "
+        print(f"{name:<22} {config.num_params / GIGA:8.1f}B "
               f"{config.param_bytes / GiB:9.1f} "
               f"{required_bandwidth(config, ctx) / TB:14.3f}")
     return 0
@@ -218,7 +226,7 @@ def _cmd_serve(args) -> int:
         perf = GpuPerfModel(A100_40G)
         memory = A100_40G.memory_bytes
     if args.memory_gb is not None:
-        memory = int(args.memory_gb * 1e9)
+        memory = int(args.memory_gb * GB)
     classes = [_parse_tenant_class(spec) for spec in args.tenant_classes]
     class_names = [tc.name for tc in classes] or [DEFAULT_TENANT_CLASS]
     service = timer_service(config, perf)
@@ -274,7 +282,7 @@ def _cmd_serve(args) -> int:
     stats = engine.run(requests, arrivals)
     runs.append((name, stats))
     print(f"{config.name} on {perf.name}: {len(requests)} requests, "
-          f"{source}, memory {memory / 1e9:.0f} GB")
+          f"{source}, memory {memory / GB:.0f} GB")
     for name, run_stats in runs:
         print(f"  [{name}]")
         for key, value in run_stats.as_dict().items():
@@ -400,6 +408,51 @@ def _cmd_lint_program(args) -> int:
     return EXIT_DIAGNOSTICS if failed else 0
 
 
+#: Default suppression baseline, resolved relative to the repo checkout
+#: (``tools/`` next to ``src/``).  Absent file -> empty baseline, so an
+#: installed package still lints.
+def _default_baseline_path() -> Optional["Path"]:
+    from pathlib import Path
+    candidate = Path(__file__).resolve().parents[2] \
+        / "tools" / "static_analysis_baseline.json"
+    return candidate if candidate.is_file() else None
+
+
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.suite import render_result, run_suite
+
+    root = args.root
+    if root is None:
+        root = Path(__file__).resolve().parent
+    baseline = None
+    if not args.no_baseline:
+        path = args.baseline
+        if path is None and args.root is None:
+            # The checked-in baseline describes this tree only; a
+            # foreign --root would render every entry stale.
+            path = _default_baseline_path()
+        if path is not None:
+            baseline = Baseline.load(path)
+    passes = None
+    if args.select:
+        passes = [name for chunk in args.select
+                  for name in chunk.split(",") if name.strip()]
+    result = run_suite(Path(root), passes=passes, baseline=baseline)
+    if args.json:
+        import json
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_result(result))
+    if args.errors_only:
+        failed = not result.report.ok or bool(result.stale)
+    else:
+        failed = not result.ok
+    return EXIT_DIAGNOSTICS if failed else 0
+
+
 def _cmd_roofline(args) -> int:
     from repro.accelerator import CXLPNMDevice
     from repro.experiments.report import text_table
@@ -430,7 +483,7 @@ def _cmd_generate(args) -> int:
     trace = session.generate(args.prompt, args.num_tokens)
     print(f"prompt {args.prompt} -> {trace.tokens}")
     print(f"{trace.instructions} instructions, device time "
-          f"{trace.total_time_s * 1e6:.1f} us")
+          f"{s_to_us(trace.total_time_s):.1f} us")
     return 0
 
 
@@ -569,6 +622,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("isa", help="accelerator ISA reference").set_defaults(
         func=_cmd_isa)
+
+    tree_lint = sub.add_parser(
+        "lint",
+        help="source-tree static analysis (purity/units/determinism/"
+             "contracts)")
+    tree_lint.add_argument("--root", default=None,
+                           help="tree to lint (default: the installed "
+                                "repro package)")
+    tree_lint.add_argument("--select", action="append", default=[],
+                           metavar="PASSES",
+                           help="comma-separated passes to run "
+                                "(purity, units, determinism, "
+                                "contracts; aliases pur/unit/det/con); "
+                                "default: all")
+    tree_lint.add_argument("--baseline", default=None,
+                           help="suppression baseline JSON (default: "
+                                "tools/static_analysis_baseline.json "
+                                "when present)")
+    tree_lint.add_argument("--no-baseline", action="store_true",
+                           help="ignore any baseline file")
+    tree_lint.add_argument("--json", action="store_true",
+                           help="print the report as JSON")
+    tree_lint.add_argument("--errors-only", action="store_true",
+                           help="exit 2 only on errors (warnings pass)")
+    tree_lint.set_defaults(func=_cmd_lint)
 
     lint = sub.add_parser(
         "lint-program",

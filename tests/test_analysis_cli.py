@@ -81,6 +81,63 @@ class TestLintProgramJson:
             assert diag["severity"] == "warning"
 
 
+class TestLintTree:
+    def test_real_tree_clean_with_default_baseline(self):
+        code, out = _run(["lint"])
+        assert code == 0
+        assert "clean" in out and "suppressed by baseline" in out
+
+    def test_no_baseline_exposes_known_exceptions(self):
+        code, out = _run(["lint", "--no-baseline"])
+        assert code == EXIT_DIAGNOSTICS == 2
+        for expected in ("UNIT403", "DET501", "CON603"):
+            assert expected in out, out
+
+    def test_select_limits_passes(self):
+        code, out = _run(["lint", "--select", "units", "--no-baseline"])
+        assert code == 2
+        assert "UNIT403" in out and "DET501" not in out
+
+    def test_select_with_default_baseline_stays_clean(self):
+        # The checked-in baseline carries DET/CON entries; a
+        # units-only run must scope them out rather than call them
+        # stale (regression: this used to exit 2).
+        code, out = _run(["lint", "--select", "units"])
+        assert code == 0, out
+        assert "stale" not in out
+
+    def test_select_alias_and_json(self):
+        code, out = _run(["lint", "--select", "det,con",
+                          "--no-baseline", "--json"])
+        assert code == 2
+        report = json.loads(out)
+        codes = {d["code"] for d in report["diagnostics"]}
+        assert codes == {"DET501", "CON603"}, codes
+
+    def test_json_reports_baseline_accounting(self):
+        code, out = _run(["lint", "--json"])
+        assert code == 0
+        report = json.loads(out)
+        assert report["ok"] is True and report["clean"] is True
+        assert report["stale_baseline"] == []
+        assert 0 < len(report["suppressed"]) <= 10
+        codes = {d["code"] for d in report["suppressed"]}
+        assert codes == {"UNIT403", "DET501", "CON603"}
+
+    def test_explicit_root_without_baseline(self, tmp_path):
+        pkg = tmp_path / "perf"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "'''doc.'''\nRATE = 1 / 1e9\n")
+        code, out = _run(["lint", "--root", str(tmp_path),
+                          "--no-baseline"])
+        assert code == 2 and "UNIT403" in out
+
+    def test_unknown_pass_is_tool_failure(self):
+        code, _ = _run(["lint", "--select", "spelling"])
+        assert code == 1
+
+
 class TestStaticChecksTool:
     def test_real_tree_clean_exits_zero(self, capsys):
         code = static_checks.main(["--root", str(REPO_ROOT / "src" / "repro")])
